@@ -1,0 +1,33 @@
+"""Ablation: FPTAS approximation parameter ε (Theorems 2–3).
+
+Sweeps ε over two orders of magnitude and records the realised cost ratio
+against the exact optimum and the running time.  Validates the theory:
+the ratio never exceeds 1 + ε, tightening ε never worsens cost, and the
+running time grows as ε shrinks (Theorem 3's O(n⁴/ε)).
+"""
+
+from repro.simulation.experiments import run_ablation_epsilon
+
+
+def test_ablation_epsilon(benchmark, dense_testbed, record_result):
+    result = benchmark.pedantic(
+        lambda: run_ablation_epsilon(
+            dense_testbed, epsilons=(2.0, 1.0, 0.5, 0.25, 0.1), n_users=60, repeats=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result, benchmark)
+
+    rows = result.rows  # (epsilon, mean_ratio, max_ratio, mean_seconds)
+    for eps, mean_ratio, max_ratio, _ in rows:
+        assert 1.0 - 1e-9 <= mean_ratio
+        assert max_ratio <= 1.0 + eps + 1e-9  # Theorem 2
+
+    # Mean cost ratio is non-increasing as epsilon tightens.
+    ratios = [row[1] for row in rows]
+    for looser, tighter in zip(ratios, ratios[1:]):
+        assert tighter <= looser + 1e-6
+
+    # Runtime grows as epsilon shrinks (compare the extremes).
+    assert rows[-1][3] >= rows[0][3]

@@ -1,0 +1,24 @@
+"""Figure 3: location-prediction accuracy vs number of predicted locations.
+
+Paper series: top-``m`` accuracy for m = 3..15 on the taxi trace, reaching
+≈ 0.9 at m = 9.  Reproduced shape: monotone increasing accuracy with the
+same knee; we assert the m = 9 value lands in a band around the paper's.
+"""
+
+from repro.simulation.experiments import run_fig3
+
+
+def test_fig3_prediction_accuracy(benchmark, citywide_testbed, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig3(citywide_testbed), rounds=1, iterations=1
+    )
+    record_result(result, benchmark)
+
+    accuracies = dict(zip(result.column("m"), result.column("accuracy")))
+    # Monotone in m.
+    values = [accuracies[m] for m in sorted(accuracies)]
+    assert values == sorted(values)
+    # Paper: ~0.9 at m = 9.
+    assert 0.80 <= accuracies[9] <= 1.0
+    # Near-perfect once m covers most of a taxi's support.
+    assert accuracies[15] >= 0.95

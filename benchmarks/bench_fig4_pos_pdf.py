@@ -1,0 +1,25 @@
+"""Figure 4: empirical PDF of predicted PoS.
+
+Paper series: histogram of the predicted PoS values over users × candidate
+locations; most mass falls in [0, 0.2] ("due to the scarcity of the
+location transition"), motivating redundant recruitment.  Reproduced shape:
+the same left-concentrated density.
+"""
+
+from repro.simulation.experiments import run_fig4
+
+
+def test_fig4_pos_pdf(benchmark, citywide_testbed, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig4(citywide_testbed, bins=20), rounds=1, iterations=1
+    )
+    record_result(result, benchmark)
+
+    # Paper: most predicted PoS fall in [0, 0.2].
+    assert result.extras["fraction_below_0.2"] >= 0.75
+    # The density must be left-concentrated: the first bins dominate.
+    densities = result.column("density")
+    assert sum(densities[:4]) >= sum(densities[4:])
+    # And it is a proper PDF over [0, 1].
+    bin_width = 1.0 / 20
+    assert abs(sum(d * bin_width for d in densities) - 1.0) < 1e-6

@@ -1,0 +1,39 @@
+"""Figure 5(a): single-task social cost vs number of users.
+
+Paper series: social cost of FPTAS (ε = 0.5), OPT and Min-Greedy for
+n ∈ [20, 100] step 10.  Paper findings: cost decreases sharply then
+stabilises; the FPTAS ≈ OPT even at ε = 0.5 and is strictly better than
+Min-Greedy.  All three shapes are asserted below.
+"""
+
+import numpy as np
+
+from repro.simulation.experiments import run_fig5a
+
+
+def test_fig5a_single_task_cost(benchmark, dense_testbed, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig5a(
+            dense_testbed, n_users_list=tuple(range(20, 101, 10)), epsilon=0.5, repeats=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result, benchmark)
+
+    fptas = result.column("fptas")
+    opt = result.column("opt")
+    greedy = result.column("min_greedy")
+
+    # OPT lower-bounds everything; the FPTAS respects its (1+eps) guarantee.
+    for f, o, g in zip(fptas, opt, greedy):
+        assert o <= f + 1e-9
+        assert f <= 1.5 * o + 1e-9
+        assert o <= g + 1e-9
+
+    # 'works as good as the OPT': within a few percent on average.
+    assert float(np.mean(np.array(fptas) / np.array(opt))) <= 1.05
+    # 'strictly better than the Greedy algorithm' on average.
+    assert float(np.mean(fptas)) <= float(np.mean(greedy)) + 1e-9
+    # Cost decreases from the smallest market to the largest.
+    assert fptas[-1] <= fptas[0] + 1e-9

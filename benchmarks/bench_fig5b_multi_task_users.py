@@ -1,0 +1,40 @@
+"""Figure 5(b): multi-task social cost vs number of users (Table III/1).
+
+Paper series: greedy vs OPT social cost for n ∈ [10, 100] step 10 at 15
+tasks.  Paper findings: cost decreases with market size and stabilises;
+greedy stays close to OPT despite the H(γ) worst-case bound.
+"""
+
+import numpy as np
+
+from repro.simulation.experiments import run_fig5b
+
+
+def test_fig5b_multi_task_users(benchmark, dense_testbed, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig5b(
+            dense_testbed, n_users_list=tuple(range(10, 101, 10)), n_tasks=15, repeats=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result, benchmark)
+
+    greedy = result.column("greedy")
+    opt = result.column("opt")
+
+    for g, o in zip(greedy, opt):
+        assert o <= g + 1e-9  # OPT is a lower bound
+
+    # 'relatively close to that of the optimal algorithm'.
+    assert float(np.mean(np.array(greedy) / np.array(opt))) <= 1.4
+    # Cost falls as the market grows, then stabilises.  The n = 10 point is
+    # excluded from the trend check: a 10-user market cannot cover 15 tasks
+    # at T = 0.8 without the generator's feasibility boost (every user's
+    # one-window contribution is bounded), so its cost is simply "the whole
+    # market" — see DESIGN.md substitution 4.
+    trend = greedy[1:]
+    assert trend[-1] <= trend[0] + 1e-9
+    early_drop = trend[0] - trend[len(trend) // 2]
+    late_drop = trend[len(trend) // 2] - trend[-1]
+    assert late_drop <= early_drop + 5.0  # flattening, with sampling slack

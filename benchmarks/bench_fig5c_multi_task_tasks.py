@@ -1,0 +1,35 @@
+"""Figure 5(c): multi-task social cost vs number of tasks (Table III/2).
+
+Paper series: greedy vs OPT social cost for t ∈ [10, 50] step 5 at 30
+users.  Paper finding: 'the social cost increases with more tasks to be
+completed, since we need to recruit more users', with greedy near OPT.
+"""
+
+import numpy as np
+
+from repro.simulation.experiments import run_fig5c
+
+
+def test_fig5c_multi_task_tasks(benchmark, dense_testbed, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig5c(
+            dense_testbed, n_tasks_list=tuple(range(10, 51, 5)), n_users=30, repeats=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result, benchmark)
+
+    greedy = result.column("greedy")
+    opt = result.column("opt")
+
+    for g, o in zip(greedy, opt):
+        assert o <= g + 1e-9
+
+    # Cost grows with the task count end-to-end.
+    assert greedy[-1] >= greedy[0] - 1e-9
+    # And does so roughly monotonically (allow small sampling dips).
+    drops = sum(1 for a, b in zip(greedy, greedy[1:]) if b < a - 1e-9)
+    assert drops <= 3
+    # Greedy stays near OPT.
+    assert float(np.mean(np.array(greedy) / np.array(opt))) <= 1.4

@@ -1,0 +1,36 @@
+"""Figure 6: empirical CDF of winners' expected utilities (α = 10).
+
+Paper series: the utility CDFs of selected users in both settings.  Paper
+findings: every selected user has non-negative expected utility
+(individual rationality), and multi-task utilities are mostly higher than
+single-task ones (winners there succeed if *any* bundle task completes).
+"""
+
+from repro.simulation.experiments import run_fig6
+
+
+def test_fig6_utility_cdf(benchmark, dense_testbed, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig6(
+            dense_testbed,
+            alpha=10.0,
+            single_task_runs=5,
+            single_task_users=40,
+            multi_task_users=60,
+            multi_task_tasks=30,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result, benchmark)
+
+    # Individual rationality: the CDFs start at utility >= 0.
+    assert result.extras["min_single"] >= -1e-6
+    assert result.extras["min_multi"] >= -1e-6
+    # Multi-task utilities are mostly higher.
+    assert result.extras["mean_multi"] >= result.extras["mean_single"]
+    # Both CDFs are proper: monotone and ending at 1.
+    for setting in ("single", "multi"):
+        cdf = [row[2] for row in result.rows if row[0] == setting]
+        assert cdf == sorted(cdf)
+        assert abs(cdf[-1] - 1.0) < 1e-9

@@ -1,0 +1,35 @@
+"""Figure 8: number of selected users vs PoS requirement.
+
+Paper series: winners selected by the single-task (n = 100) and multi-task
+(n = 100, t = 50) mechanisms for T ∈ [0.5, 0.9] step 0.05.  Paper finding:
+the count grows with T, and grows *fast* at high T because individual
+PoS values are low.
+"""
+
+import numpy as np
+
+from repro.simulation.experiments import run_fig8
+
+REQUIREMENTS = tuple(np.arange(0.5, 0.91, 0.05).round(2))
+
+
+def test_fig8_users_vs_requirement(benchmark, dense_testbed, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig8(
+            dense_testbed, requirements=REQUIREMENTS, n_users=100, n_tasks=50, repeats=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result, benchmark)
+
+    single = result.column("selected_single")
+    multi = result.column("selected_multi")
+
+    # Selection grows with the requirement end-to-end.
+    assert single[-1] >= single[0]
+    assert multi[-1] >= multi[0]
+    # Growth accelerates at high T for the single-task mechanism: the jump
+    # over the last half of the sweep is at least the jump over the first.
+    mid = len(single) // 2
+    assert (single[-1] - single[mid]) >= (single[mid] - single[0]) - 1

@@ -1,0 +1,40 @@
+"""Figure 9: social cost vs PoS requirement.
+
+Paper series: social cost of the single-task (n = 100) and multi-task
+(n = 100, t = 50) mechanisms for T ∈ [0.5, 0.9] step 0.05.  Paper finding:
+'since the costs of users follow the same distribution, the effect on
+social cost coincides with that on the number of selected users' — cost
+grows with T, tracking Figure 8.
+"""
+
+import numpy as np
+
+from repro.simulation.experiments import run_fig8, run_fig9
+
+REQUIREMENTS = tuple(np.arange(0.5, 0.91, 0.05).round(2))
+
+
+def test_fig9_cost_vs_requirement(benchmark, dense_testbed, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig9(
+            dense_testbed, requirements=REQUIREMENTS, n_users=100, n_tasks=50, repeats=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result, benchmark)
+
+    cost_single = result.column("cost_single")
+    cost_multi = result.column("cost_multi")
+
+    # Cost grows with the requirement.
+    assert cost_single[-1] >= cost_single[0]
+    assert cost_multi[-1] >= cost_multi[0]
+
+    # 'coincides with the effect on the number of selected users': the cost
+    # series and the selection-count series are strongly correlated.
+    fig8 = run_fig8(
+        dense_testbed, requirements=REQUIREMENTS, n_users=100, n_tasks=50, repeats=2
+    )
+    corr = np.corrcoef(cost_single, fig8.column("selected_single"))[0, 1]
+    assert corr >= 0.9

@@ -1,0 +1,54 @@
+"""Scalability: winner-determination running time vs instance size.
+
+Theorems 3 and 6 bound the mechanisms by O(n⁴/ε) (single task) and O(n²t)
+(multi task).  This bench measures wall-clock time across a size sweep and
+checks the growth is polynomial-ish (no blow-up), which is the property
+the paper's 'computational efficiency' claims care about in practice.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.fptas import fptas_min_knapsack
+from repro.core.greedy import greedy_allocation
+from repro.simulation.experiments import ExperimentResult
+
+
+def run_scalability(testbed, n_values=(25, 50, 100), repeats=2):
+    rows = []
+    for n in n_values:
+        single_times, multi_times = [], []
+        for rep in range(repeats):
+            g_s = testbed.generator.single_task_instance(n, seed=9000 + rep)
+            start = time.perf_counter()
+            fptas_min_knapsack(g_s.instance, 0.5)
+            single_times.append(time.perf_counter() - start)
+
+            g_m = testbed.generator.multi_task_instance(n, max(10, n // 2), seed=9100 + rep)
+            start = time.perf_counter()
+            greedy_allocation(g_m.instance)
+            multi_times.append(time.perf_counter() - start)
+        rows.append((n, float(np.mean(single_times)), float(np.mean(multi_times))))
+    return ExperimentResult(
+        experiment_id="scalability",
+        description="winner-determination runtime vs instance size",
+        headers=("n_users", "fptas_seconds", "greedy_seconds"),
+        rows=tuple(rows),
+    )
+
+
+def test_scalability(benchmark, dense_testbed, record_result):
+    result = benchmark.pedantic(
+        lambda: run_scalability(dense_testbed), rounds=1, iterations=1
+    )
+    record_result(result, benchmark)
+
+    fptas_times = result.column("fptas_seconds")
+    greedy_times = result.column("greedy_seconds")
+    # Everything completes fast at the paper's scales...
+    assert max(fptas_times) < 10.0
+    assert max(greedy_times) < 5.0
+    # ...and quadrupling n does not blow past the polynomial envelope
+    # (n^4 growth over a 4x size range is 256x; leave generous slack).
+    assert fptas_times[-1] <= max(fptas_times[0], 1e-4) * 2000

@@ -1,0 +1,51 @@
+"""Table II: default simulation parameters.
+
+Regenerates the paper's defaults table and validates that one default
+workload actually exhibits those parameters: the PoS requirement on every
+task, the reward scaling of every contract, the task-set size range and
+the cost distribution's moments.
+"""
+
+import numpy as np
+
+from repro.core.multi_task import MultiTaskMechanism
+from repro.simulation.experiments import ExperimentResult
+from repro.workload.config import table2_defaults
+
+
+def test_table2_defaults(benchmark, dense_testbed, record_result):
+    config = table2_defaults()
+
+    def build():
+        generated = dense_testbed.generator.multi_task_instance(60, 20, seed=777)
+        outcome = MultiTaskMechanism(alpha=config.alpha).run(generated.instance)
+        return generated, outcome
+
+    generated, outcome = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    result = ExperimentResult(
+        experiment_id="table2",
+        description="default simulation parameters (Table II)",
+        headers=("parameter", "value"),
+        rows=(
+            ("PoS requirement T", config.pos_requirement),
+            ("Reward scaling factor alpha", config.alpha),
+            ("Tasks of each user", f"[{config.tasks_per_user[0]}, {config.tasks_per_user[1]}]"),
+            ("Mean of costs", config.cost_mean),
+            ("Variance of costs", config.cost_variance),
+        ),
+    )
+    record_result(result, benchmark)
+
+    instance = generated.instance
+    # Every task carries the default requirement.
+    assert all(t.requirement == config.pos_requirement for t in instance.tasks)
+    # Every contract uses the default alpha.
+    assert all(c.alpha == config.alpha for c in outcome.rewards.values())
+    # Task-set sizes within the configured range.
+    low, high = config.tasks_per_user
+    assert all(1 <= len(u.task_set) <= high for u in instance.users)
+    # Cost sample moments near Table II (60 draws: generous bands).
+    costs = np.array([u.cost for u in instance.users])
+    assert abs(costs.mean() - config.cost_mean) < 1.5
+    assert abs(costs.var() - config.cost_variance) < 4.0

@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures via the
+drivers in :mod:`repro.simulation.experiments`, on testbeds built once per
+session:
+
+* ``dense_testbed`` — the downtown fleet used by all auction experiments;
+* ``citywide_testbed`` — the spread-out fleet used by the mobility-model
+  experiments (Figures 3–4 and the smoothing ablation).
+
+Each benchmark prints the reproduced table (run with ``-s`` to see it) and
+writes it to ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can
+quote the exact harness output.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.simulation.experiments import ExperimentResult, build_testbed
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def dense_testbed():
+    return build_testbed(n_taxis=250, seed=42, kind="dense")
+
+
+@pytest.fixture(scope="session")
+def citywide_testbed():
+    return build_testbed(n_taxis=200, seed=42, kind="citywide")
+
+
+@pytest.fixture
+def record_result():
+    """Print a reproduced experiment and persist it under results/."""
+
+    def _record(result: ExperimentResult, benchmark=None) -> ExperimentResult:
+        table = result.to_table()
+        print("\n" + table)
+        if result.extras:
+            extras = ", ".join(f"{k}={v}" for k, v in sorted(result.extras.items()))
+            print(f"extras: {extras}")
+        RESULTS_DIR.mkdir(exist_ok=True)
+        out = RESULTS_DIR / f"{result.experiment_id}.txt"
+        with open(out, "w") as handle:
+            handle.write(table + "\n")
+            for key, value in sorted(result.extras.items()):
+                handle.write(f"# {key} = {value}\n")
+        if benchmark is not None:
+            benchmark.extra_info["experiment_id"] = result.experiment_id
+            benchmark.extra_info["rows"] = len(result.rows)
+        return result
+
+    return _record

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Tuning the FPTAS: the cost/runtime trade-off of ε (Theorems 2-3).
+
+The single-task winner determination is a (1+ε)-approximation running in
+O(n⁴/ε).  A platform picking ε wants to know the *realised* trade-off, not
+the worst case — the paper observes that even ε = 0.5 'works as good as
+the OPT'.  This script sweeps ε on realistic workloads and prints realised
+cost ratio and wall-clock time, plus the Min-Greedy 2-approximation as a
+reference point.
+
+Run:  python examples/fptas_tuning.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import build_testbed, fptas_min_knapsack
+from repro.core.baselines import min_greedy_single_task, optimal_single_task
+
+EPSILONS = (4.0, 2.0, 1.0, 0.5, 0.25, 0.1, 0.05)
+N_USERS = 80
+REPEATS = 4
+
+
+def main() -> None:
+    print(f"Building testbed and {REPEATS} single-task instances "
+          f"({N_USERS} users each)...")
+    testbed = build_testbed(n_taxis=200, seed=3, kind="dense")
+    instances = [
+        testbed.generator.single_task_instance(N_USERS, seed=100 + rep).instance
+        for rep in range(REPEATS)
+    ]
+    opt_costs = [optimal_single_task(inst).total_cost for inst in instances]
+
+    print(f"\n{'epsilon':>8} | {'mean ratio':>10} | {'max ratio':>9} | "
+          f"{'1+eps bound':>11} | {'mean time':>9}")
+    print("-" * 60)
+    for eps in EPSILONS:
+        ratios, times = [], []
+        for instance, opt_cost in zip(instances, opt_costs):
+            start = time.perf_counter()
+            result = fptas_min_knapsack(instance, eps)
+            times.append(time.perf_counter() - start)
+            ratios.append(result.total_cost / opt_cost)
+        print(
+            f"{eps:>8.2f} | {np.mean(ratios):>10.4f} | {np.max(ratios):>9.4f} | "
+            f"{1 + eps:>11.2f} | {np.mean(times):>8.3f}s"
+        )
+
+    greedy_ratios = [
+        min_greedy_single_task(inst).total_cost / opt
+        for inst, opt in zip(instances, opt_costs)
+    ]
+    print("-" * 60)
+    print(f"{'MinGreedy':>8} | {np.mean(greedy_ratios):>10.4f} | "
+          f"{np.max(greedy_ratios):>9.4f} | {'2.00':>11} |   (2-approx baseline)")
+
+    print(
+        "\nReading: realised ratios sit far inside the 1+eps guarantee — the\n"
+        "paper's choice of eps = 0.5 already buys near-optimal allocations,\n"
+        "and tightening eps mostly buys runtime, not cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: run one fault-tolerant crowdsensing auction end to end.
+
+This walks the paper's Figure-1 loop on a tiny hand-written market — the
+same four users as the paper's §III-A example:
+
+    user 1: cost 3, PoS 0.7        user 2: cost 2, PoS 0.7
+    user 3: cost 1, PoS 0.5        user 4: cost 4, PoS 0.8
+
+The platform posts one task that must be completed with probability at
+least 0.9, clears the sealed-bid reverse auction (FPTAS winner
+determination + execution-contingent rewards), simulates the winners'
+Bernoulli execution, and settles the contracts.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CrowdsensingAuction, ExecutionSimulator, Task, UserType
+from repro.core import single_task_view
+
+TASK = Task(task_id=0, requirement=0.9)
+BIDDERS = [
+    UserType(1, cost=3.0, pos={0: 0.7}),
+    UserType(2, cost=2.0, pos={0: 0.7}),
+    UserType(3, cost=1.0, pos={0: 0.5}),
+    UserType(4, cost=4.0, pos={0: 0.8}),
+]
+
+
+def main() -> None:
+    # Step 2: the platform publicizes the task.
+    auction = CrowdsensingAuction([TASK], alpha=10.0, epsilon=0.1)
+    print(f"Published task {TASK.task_id}: PoS requirement T = {TASK.requirement}")
+
+    # Steps 3-4: users submit sealed bids (their declared types).
+    for user in BIDDERS:
+        auction.submit_bid(user)
+        print(f"  bid from user {user.user_id}: cost={user.cost}, PoS={user.pos[0]}")
+
+    # Steps 5-6: winner determination + execution-contingent contracts.
+    outcome = auction.clear()
+    print(f"\nWinners: {sorted(outcome.winners)}")
+    print(f"Social cost: {outcome.social_cost:.2f}")
+    print(f"Achieved task PoS: {outcome.achieved_pos:.4f} (required {TASK.requirement})")
+    for uid in sorted(outcome.winners):
+        contract = outcome.rewards[uid]
+        print(
+            f"  user {uid}: critical PoS={contract.critical_pos:.4f}, "
+            f"reward {contract.success_reward:+.2f} on success / "
+            f"{contract.failure_reward:+.2f} on failure"
+        )
+
+    # Execution: winners attempt the task; contracts settle on the outcome.
+    instance = single_task_view(auction.instance(), TASK.task_id)
+    simulator = ExecutionSimulator(seed=7)
+    result = simulator.simulate_single(instance, outcome)
+    print(f"\nExecution: task completed = {result.task_completed[0]}")
+    for uid in sorted(outcome.winners):
+        status = "succeeded" if result.user_success[uid] else "failed"
+        print(
+            f"  user {uid} {status}: paid {result.rewards_paid[uid]:+.2f}, "
+            f"utility {result.utilities[uid]:+.2f}"
+        )
+    print(f"Platform spend this round: {result.platform_spend:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""A full taxi-fleet sensing campaign: the paper's evaluation pipeline.
+
+This is the scenario the paper's introduction motivates — a platform wants
+photos/sensor readings from a set of downtown locations and recruits taxis
+whose predicted mobility makes them likely to pass by.  The script runs the
+whole substrate end to end:
+
+1. generate a synthetic Shanghai taxi fleet and its GPS event trace
+   (stand-in for the proprietary 2013 dataset, same record schema);
+2. learn per-taxi Markov mobility models with Laplace smoothing and report
+   next-location prediction accuracy (paper, Figure 3);
+3. build a multi-task auction: tasks = popular predicted destinations,
+   PoS = each taxi's probability of reaching the cell during the sensing
+   window, costs ~ N(15, 5) (paper, Table II);
+4. clear the strategy-proof greedy auction (Algorithms 4-5) and compare
+   its social cost against the exact optimum and the MT-VCG strawman;
+5. simulate execution and settle the execution-contingent rewards.
+
+Run:  python examples/taxi_sensing_campaign.py
+"""
+
+import numpy as np
+
+from repro import (
+    CityGrid,
+    ExecutionSimulator,
+    FleetConfig,
+    MarkovMobilityModel,
+    MultiTaskMechanism,
+    SyntheticTaxiFleet,
+    TraceDataset,
+    WorkloadGenerator,
+)
+from repro.core.baselines import mt_vcg, optimal_multi_task
+from repro.mobility.prediction import prediction_accuracy
+
+N_TAXIS = 200
+N_USERS = 50
+N_TASKS = 20
+SEED = 2013
+
+
+def main() -> None:
+    # --- 1. Fleet + trace -------------------------------------------------
+    grid = CityGrid()
+    fleet_config = FleetConfig(
+        n_taxis=N_TAXIS,
+        events_per_taxi=400,
+        region_radius_cells=2,
+        home_radius_cells=2,
+        support_size_range=(18, 24),
+    )
+    fleet = SyntheticTaxiFleet(grid, fleet_config, seed=SEED)
+    records = fleet.generate_records()
+    print(f"Generated {len(records)} trace events for {N_TAXIS} taxis "
+          f"on a {grid.n_rows}x{grid.n_cols} grid of {grid.cell_km:.0f} km cells")
+
+    # --- 2. Mobility model ------------------------------------------------
+    dataset = TraceDataset.from_records(records, grid, train_fraction=0.8)
+    model = MarkovMobilityModel.from_sequences(dataset.train, smoothing="laplace")
+    accuracy = prediction_accuracy(model, dataset.held_out, m_values=(3, 6, 9, 12))
+    print("Next-location prediction accuracy:",
+          ", ".join(f"top-{m}: {a:.3f}" for m, a in accuracy.items()))
+
+    # --- 3. Auction workload ----------------------------------------------
+    generator = WorkloadGenerator(model, seed=SEED)
+    generated = generator.multi_task_instance(N_USERS, N_TASKS, seed=SEED)
+    instance = generated.instance
+    print(f"\nCampaign: {instance.n_tasks} tasks, {instance.n_users} bidding taxis")
+    if not generated.repair.clean:
+        print(f"  (feasibility repair: {len(generated.repair.boosted_tasks)} boosted, "
+              f"{len(generated.repair.dropped_tasks)} dropped)")
+    bundle_sizes = [len(u.task_set) for u in instance.users]
+    print(f"  task bundles: {min(bundle_sizes)}-{max(bundle_sizes)} tasks/user "
+          f"(mean {np.mean(bundle_sizes):.1f})")
+
+    # --- 4. Clear the auction ----------------------------------------------
+    mechanism = MultiTaskMechanism(alpha=10.0)
+    outcome = mechanism.run(instance)
+    opt = optimal_multi_task(instance)
+    vcg = mt_vcg(instance)
+    print(f"\nGreedy mechanism: {len(outcome.winners)} winners, "
+          f"social cost {outcome.social_cost:.1f}")
+    print(f"Exact optimum:    {len(opt.selected)} winners, "
+          f"social cost {opt.total_cost:.1f} "
+          f"(greedy/OPT = {outcome.social_cost / opt.total_cost:.3f})")
+    print(f"MT-VCG strawman:  {len(vcg.selected)} winners, "
+          f"social cost {vcg.total_cost:.1f} — but it ignores PoS:")
+
+    ours_pos = outcome.average_achieved_pos()
+    vcg_pos = np.mean(
+        [
+            1.0 - np.prod(
+                [
+                    1.0 - instance.user_by_id(uid).pos.get(task.task_id, 0.0)
+                    for uid in vcg.selected
+                ]
+            )
+            for task in instance.tasks
+        ]
+    )
+    required = instance.tasks[0].requirement
+    print(f"  average achieved PoS: ours {ours_pos:.3f}, MT-VCG {vcg_pos:.3f} "
+          f"(required {required})")
+
+    # --- 5. Execute and settle ---------------------------------------------
+    simulator = ExecutionSimulator(seed=SEED)
+    completions = []
+    spends = []
+    for _ in range(200):
+        result = simulator.simulate_multi(instance, outcome)
+        completions.append(np.mean(list(result.task_completed.values())))
+        spends.append(result.platform_spend)
+    print(f"\nOver 200 simulated campaigns:")
+    print(f"  mean fraction of tasks completed: {np.mean(completions):.3f} "
+          f"(requirement {required})")
+    print(f"  mean platform spend per campaign: {np.mean(spends):.1f} "
+          f"(social cost {outcome.social_cost:.1f})")
+    print(f"  winners' expected utilities are all >= 0 by Theorem 4; "
+          f"realised utilities vary with execution luck.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Legacy setup script.
+
+Packaging metadata lives in setup.cfg.  The project deliberately ships
+without pyproject.toml: its presence makes pip run an isolated PEP-517
+build that downloads setuptools/wheel from PyPI, which fails on the
+offline machines this reproduction targets.  With setup.py/setup.cfg, pip
+falls back to the installed setuptools and `pip install -e .` works with
+no network at all.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,107 @@
+"""repro — reproduction of *Mechanism Design for Mobile Crowdsensing with
+Execution Uncertainty* (Zheng, Yang, Wu, Chen — ICDCS 2017).
+
+Strategy-proof reverse-auction mechanisms for recruiting unreliable mobile
+users: users privately know their probability of success (PoS) for each
+sensing task, and the platform must cover every task's PoS requirement at
+near-minimal social cost while making truthful PoS reporting a dominant
+strategy.
+
+Package layout:
+
+* :mod:`repro.core` — the mechanisms (single-task FPTAS auction, multi-task
+  greedy auction), the execution-contingent reward scheme, baselines, and
+  property checkers;
+* :mod:`repro.mobility` — the taxi-trace substrate: city grid, synthetic
+  fleet, Markov mobility model;
+* :mod:`repro.workload` — auction-instance generation (the paper's Tables
+  II/III parameters);
+* :mod:`repro.simulation` — execution simulation and one driver per paper
+  figure;
+* :mod:`repro.analysis` — CDF/PDF/statistics helpers and table rendering.
+
+Quickstart::
+
+    from repro import Task, UserType, CrowdsensingAuction
+
+    auction = CrowdsensingAuction([Task(0, requirement=0.9)])
+    auction.submit_bid(UserType(1, cost=3.0, pos={0: 0.7}))
+    auction.submit_bid(UserType(2, cost=2.0, pos={0: 0.7}))
+    auction.submit_bid(UserType(3, cost=1.0, pos={0: 0.5}))
+    auction.submit_bid(UserType(4, cost=4.0, pos={0: 0.8}))
+    outcome = auction.clear()
+    print(outcome.winners, outcome.social_cost)
+"""
+
+from .core import (
+    AuctionInstance,
+    CrowdsensingAuction,
+    ECReward,
+    FptasResult,
+    GreedyTrace,
+    InfeasibleInstanceError,
+    MultiTaskMechanism,
+    MultiTaskOutcome,
+    ReproError,
+    SingleTaskInstance,
+    SingleTaskMechanism,
+    SingleTaskOutcome,
+    Task,
+    UserType,
+    ValidationError,
+    contribution_to_pos,
+    fptas_min_knapsack,
+    greedy_allocation,
+    pos_to_contribution,
+    single_task_view,
+)
+from .mobility import (
+    CityGrid,
+    FleetConfig,
+    MarkovMobilityModel,
+    SyntheticTaxiFleet,
+    TraceDataset,
+)
+from .simulation import ExecutionSimulator, Testbed, build_testbed
+from .workload import SimulationConfig, WorkloadGenerator, table2_defaults
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "Task",
+    "UserType",
+    "AuctionInstance",
+    "SingleTaskInstance",
+    "single_task_view",
+    "SingleTaskMechanism",
+    "SingleTaskOutcome",
+    "MultiTaskMechanism",
+    "MultiTaskOutcome",
+    "CrowdsensingAuction",
+    "ECReward",
+    "FptasResult",
+    "GreedyTrace",
+    "fptas_min_knapsack",
+    "greedy_allocation",
+    "pos_to_contribution",
+    "contribution_to_pos",
+    "ReproError",
+    "ValidationError",
+    "InfeasibleInstanceError",
+    # mobility
+    "CityGrid",
+    "FleetConfig",
+    "SyntheticTaxiFleet",
+    "MarkovMobilityModel",
+    "TraceDataset",
+    # workload
+    "SimulationConfig",
+    "table2_defaults",
+    "WorkloadGenerator",
+    # simulation
+    "ExecutionSimulator",
+    "Testbed",
+    "build_testbed",
+]

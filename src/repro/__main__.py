@@ -1,0 +1,90 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig5a
+    python -m repro run fig3 --n-taxis 400 --seed 7
+    python -m repro run all
+
+Each experiment prints the same rows/series the paper's figure plots (see
+EXPERIMENTS.md for the paper-vs-measured comparison).  Testbeds are built
+once per invocation and shared across experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .simulation import experiments as exp
+
+#: experiment id -> (driver, testbed kind)
+EXPERIMENTS = {
+    "fig3": (exp.run_fig3, "citywide"),
+    "fig4": (exp.run_fig4, "citywide"),
+    "fig5a": (exp.run_fig5a, "dense"),
+    "fig5b": (exp.run_fig5b, "dense"),
+    "fig5c": (exp.run_fig5c, "dense"),
+    "fig6": (exp.run_fig6, "dense"),
+    "fig7": (exp.run_fig7, "dense"),
+    "fig8": (exp.run_fig8, "dense"),
+    "fig9": (exp.run_fig9, "dense"),
+    "ablation-epsilon": (exp.run_ablation_epsilon, "dense"),
+    "ablation-delta-q": (exp.run_ablation_delta_q, "dense"),
+    "ablation-smoothing": (exp.run_ablation_smoothing, "citywide"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the ICDCS'17 crowdsensing-mechanism experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    run.add_argument("--n-taxis", type=int, default=250, help="fleet size (default 250)")
+    run.add_argument("--seed", type=int, default=42, help="testbed RNG seed (default 42)")
+    return parser
+
+
+def _run_one(name: str, testbeds: dict[str, exp.Testbed]) -> None:
+    driver, kind = EXPERIMENTS[name]
+    start = time.perf_counter()
+    result = driver(testbeds[kind])
+    elapsed = time.perf_counter() - start
+    print(result.to_table())
+    if result.extras:
+        for key, value in sorted(result.extras.items()):
+            print(f"# {key} = {value}")
+    print(f"# completed in {elapsed:.1f}s\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, (driver, kind) in EXPERIMENTS.items():
+            summary = (driver.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<20} [{kind:>8}]  {summary}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    kinds = {EXPERIMENTS[n][1] for n in names}
+    testbeds = {}
+    for kind in sorted(kinds):
+        print(f"# building {kind} testbed ({args.n_taxis} taxis, seed {args.seed})...")
+        testbeds[kind] = exp.build_testbed(
+            n_taxis=args.n_taxis, seed=args.seed, kind=kind
+        )
+    for name in names:
+        _run_one(name, testbeds)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

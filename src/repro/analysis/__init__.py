@@ -1,0 +1,17 @@
+"""Analysis helpers: empirical statistics and table rendering."""
+
+from .bootstrap import ConfidenceInterval, bootstrap_ci, paired_difference_ci
+from .stats import Summary, empirical_cdf, histogram_pdf, summarize
+from .tables import format_cell, format_table
+
+__all__ = [
+    "empirical_cdf",
+    "histogram_pdf",
+    "Summary",
+    "summarize",
+    "format_table",
+    "format_cell",
+    "ConfidenceInterval",
+    "bootstrap_ci",
+    "paired_difference_ci",
+]

@@ -1,0 +1,198 @@
+"""Core mechanisms: the paper's primary contribution.
+
+Everything game-theoretic lives here — domain types, the single-task FPTAS
+mechanism (Algorithms 1–3), the multi-task greedy mechanism (Algorithms
+4–5), the execution-contingent reward scheme, critical-bid computation,
+baselines (OPT / Min-Greedy / ST-VCG / MT-VCG / VCG), and mechanized
+property checkers.
+"""
+
+from .auction import CrowdsensingAuction
+from .branch_and_bound import BnbStats, branch_and_bound_single_task
+from .budget import (
+    SpendDecomposition,
+    expected_spend,
+    max_alpha_for_budget,
+    spend_decomposition,
+    worst_case_spend,
+)
+from .baselines import (
+    BaselineResult,
+    VcgOutcome,
+    exhaustive_multi_task,
+    exhaustive_single_task,
+    min_greedy_single_task,
+    mt_vcg,
+    optimal_multi_task,
+    optimal_single_task,
+    st_vcg,
+    vcg_single_task,
+)
+from .cost_verification import CostAudit, CostReport, CostVerifier
+from .critical import critical_contribution_multi, critical_contribution_single
+from .errors import (
+    CriticalBidError,
+    InfeasibleInstanceError,
+    ReproError,
+    SolverLimitError,
+    ValidationError,
+)
+from .fptas import DEFAULT_EPSILON, FptasResult, fptas_min_knapsack
+from .greedy import (
+    GreedyIteration,
+    GreedyTrace,
+    greedy_allocation,
+    greedy_allocation_reference,
+)
+from .knapsack import (
+    KnapsackState,
+    MinKnapsackSolution,
+    knapsack_frontier,
+    solve_max_knapsack,
+    solve_min_knapsack,
+)
+from .multi_task import MultiTaskMechanism, MultiTaskOutcome
+from .properties import (
+    Deviation,
+    PropertyReport,
+    check_incentive_compatibility_multi,
+    check_incentive_compatibility_single,
+    check_individual_rationality_multi,
+    check_individual_rationality_single,
+    check_monotonicity_multi,
+    check_monotonicity_single,
+)
+from .serialization import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    outcome_to_dict,
+    save_instance,
+    single_task_from_dict,
+    single_task_to_dict,
+)
+from .rewards import (
+    ECReward,
+    ec_reward,
+    expected_utility_generic,
+    expected_utility_multi,
+    expected_utility_single,
+)
+from .single_task import SingleTaskMechanism, SingleTaskOutcome
+from .submodular import (
+    coverage,
+    coverage_units,
+    gamma_parameter,
+    greedy_approximation_bound,
+    harmonic,
+    marginal_coverage,
+)
+from .transforms import (
+    MAX_CONTRIBUTION,
+    achieved_pos,
+    aggregate_pos,
+    contribution_to_pos,
+    pos_to_contribution,
+    quantize_contribution,
+    units_of_contribution,
+)
+from .types import AuctionInstance, SingleTaskInstance, Task, UserType, single_task_view
+
+__all__ = [
+    # types
+    "Task",
+    "UserType",
+    "AuctionInstance",
+    "SingleTaskInstance",
+    "single_task_view",
+    # transforms
+    "pos_to_contribution",
+    "contribution_to_pos",
+    "aggregate_pos",
+    "achieved_pos",
+    "quantize_contribution",
+    "units_of_contribution",
+    "MAX_CONTRIBUTION",
+    # knapsack / fptas
+    "KnapsackState",
+    "MinKnapsackSolution",
+    "knapsack_frontier",
+    "solve_min_knapsack",
+    "solve_max_knapsack",
+    "FptasResult",
+    "fptas_min_knapsack",
+    "DEFAULT_EPSILON",
+    # greedy
+    "GreedyIteration",
+    "GreedyTrace",
+    "greedy_allocation",
+    "greedy_allocation_reference",
+    # mechanisms
+    "SingleTaskMechanism",
+    "SingleTaskOutcome",
+    "MultiTaskMechanism",
+    "MultiTaskOutcome",
+    "CrowdsensingAuction",
+    # rewards / critical bids
+    "ECReward",
+    "ec_reward",
+    "expected_utility_single",
+    "expected_utility_multi",
+    "expected_utility_generic",
+    "critical_contribution_single",
+    "critical_contribution_multi",
+    # baselines
+    "BaselineResult",
+    "VcgOutcome",
+    "optimal_single_task",
+    "optimal_multi_task",
+    "exhaustive_single_task",
+    "exhaustive_multi_task",
+    "min_greedy_single_task",
+    "st_vcg",
+    "mt_vcg",
+    "vcg_single_task",
+    # submodular
+    "coverage",
+    "coverage_units",
+    "marginal_coverage",
+    "harmonic",
+    "gamma_parameter",
+    "greedy_approximation_bound",
+    # properties
+    "Deviation",
+    "PropertyReport",
+    "check_individual_rationality_single",
+    "check_individual_rationality_multi",
+    "check_incentive_compatibility_single",
+    "check_incentive_compatibility_multi",
+    "check_monotonicity_single",
+    "check_monotonicity_multi",
+    # branch and bound
+    "branch_and_bound_single_task",
+    "BnbStats",
+    # serialization
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+    "single_task_to_dict",
+    "single_task_from_dict",
+    "outcome_to_dict",
+    # budget analysis
+    "SpendDecomposition",
+    "spend_decomposition",
+    "expected_spend",
+    "max_alpha_for_budget",
+    "worst_case_spend",
+    # cost verification
+    "CostReport",
+    "CostAudit",
+    "CostVerifier",
+    # errors
+    "ReproError",
+    "ValidationError",
+    "InfeasibleInstanceError",
+    "CriticalBidError",
+    "SolverLimitError",
+]

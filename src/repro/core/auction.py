@@ -1,0 +1,113 @@
+"""Reverse-auction orchestration (paper, Figure 1, steps 2–6).
+
+:class:`CrowdsensingAuction` is the platform-side façade that ties the pieces
+together in the order the paper's system diagram prescribes:
+
+1. the platform *publicizes* a set of tasks with PoS requirements (step 2);
+2. users *submit sealed bids* — their declared types (steps 3–4);
+3. the platform *clears* the auction: winner determination plus
+   execution-contingent reward contracts (steps 5–6).
+
+Clearing dispatches to :class:`~repro.core.single_task.SingleTaskMechanism`
+when exactly one task was published and to
+:class:`~repro.core.multi_task.MultiTaskMechanism` otherwise.  Realised
+execution and reward settlement live in :mod:`repro.simulation.engine`,
+which consumes the outcome object produced here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from .errors import ValidationError
+from .multi_task import MultiTaskMechanism, MultiTaskOutcome
+from .single_task import SingleTaskMechanism, SingleTaskOutcome
+from .types import AuctionInstance, Task, UserType, single_task_view
+
+__all__ = ["CrowdsensingAuction"]
+
+
+class CrowdsensingAuction:
+    """Sealed-bid reverse auction between a platform and mobile users.
+
+    Args:
+        tasks: The location-aware sensing tasks to publicize.
+        alpha: Reward scaling factor for the EC contracts.
+        epsilon: FPTAS parameter (only used when a single task is published).
+
+    Example:
+        >>> auction = CrowdsensingAuction([Task(0, requirement=0.8)])
+        >>> auction.submit_bid(UserType(1, cost=3.0, pos={0: 0.7}))
+        >>> auction.submit_bid(UserType(2, cost=2.0, pos={0: 0.7}))
+        >>> auction.submit_bid(UserType(3, cost=1.0, pos={0: 0.5}))
+        >>> outcome = auction.clear()
+        >>> outcome.winners  # doctest: +SKIP
+        frozenset({...})
+    """
+
+    def __init__(
+        self,
+        tasks: Iterable[Task],
+        alpha: float = 10.0,
+        epsilon: float = 0.5,
+    ):
+        self.tasks: tuple[Task, ...] = tuple(tasks)
+        if not self.tasks:
+            raise ValidationError("an auction needs at least one task")
+        ids = [t.task_id for t in self.tasks]
+        if len(set(ids)) != len(ids):
+            raise ValidationError("duplicate task ids")
+        self.alpha = alpha
+        self.epsilon = epsilon
+        self._bids: dict[int, UserType] = {}
+        self._cleared = False
+
+    @property
+    def published_task_ids(self) -> frozenset[int]:
+        """Task ids visible to users (step 2 of Figure 1)."""
+        return frozenset(t.task_id for t in self.tasks)
+
+    def submit_bid(self, user: UserType) -> None:
+        """Register a sealed bid (a declared type).
+
+        Re-submitting with the same user id replaces the earlier bid, as in
+        a sealed-bid auction where only the final envelope counts.
+        """
+        if self._cleared:
+            raise ValidationError("auction already cleared; no further bids accepted")
+        unknown = user.task_set - self.published_task_ids
+        if unknown:
+            raise ValidationError(
+                f"user {user.user_id} bids on unpublished tasks {sorted(unknown)}"
+            )
+        self._bids[user.user_id] = user
+
+    @property
+    def n_bids(self) -> int:
+        return len(self._bids)
+
+    def instance(self) -> AuctionInstance:
+        """The auction instance implied by the received bids."""
+        return AuctionInstance(self.tasks, tuple(self._bids.values()))
+
+    def clear(
+        self, compute_rewards: bool = True
+    ) -> SingleTaskOutcome | MultiTaskOutcome:
+        """Run winner determination and reward calculation (steps 5–6).
+
+        Returns a :class:`SingleTaskOutcome` when one task was published and
+        a :class:`MultiTaskOutcome` otherwise.  The auction can only be
+        cleared once.
+        """
+        if self._cleared:
+            raise ValidationError("auction already cleared")
+        if not self._bids:
+            raise ValidationError("cannot clear an auction with no bids")
+        self._cleared = True
+        instance = self.instance()
+        if len(self.tasks) == 1:
+            mechanism = SingleTaskMechanism(epsilon=self.epsilon, alpha=self.alpha)
+            view = single_task_view(instance, self.tasks[0].task_id)
+            return mechanism.run(view, compute_rewards=compute_rewards)
+        mechanism = MultiTaskMechanism(alpha=self.alpha)
+        return mechanism.run(instance, compute_rewards=compute_rewards)

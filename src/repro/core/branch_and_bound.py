@@ -1,0 +1,148 @@
+"""Branch-and-bound exact solver for the minimum knapsack problem.
+
+A third exact-OPT implementation alongside the MILP
+(:func:`repro.core.baselines.optimal_single_task`) and the brute-force
+enumerator: self-contained (no SciPy), polynomial memory, and fast in
+practice far beyond the exhaustive solver's 22-user limit.  The three
+solvers cross-validate each other in the test suite.
+
+Method: depth-first search over include/exclude decisions in
+cost-efficiency order, with two prunings:
+
+* **bound pruning** — a fractional (LP) relaxation lower-bounds the cost of
+  completing the current partial solution; if ``current cost + bound``
+  cannot beat the incumbent, the subtree dies;
+* **feasibility pruning** — if even taking every remaining user cannot
+  reach the requirement, the subtree is infeasible.
+
+The incumbent is initialised with the Min-Greedy 2-approximation, so the
+gap starts small.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .baselines import BaselineResult, min_greedy_single_task
+from .errors import InfeasibleInstanceError
+from .types import SingleTaskInstance
+
+__all__ = ["branch_and_bound_single_task", "BnbStats"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class BnbStats:
+    """Search diagnostics (exposed for tests and curiosity)."""
+
+    nodes_explored: int = 0
+    nodes_pruned_bound: int = 0
+    nodes_pruned_infeasible: int = 0
+
+
+def _fractional_bound(
+    order: list[int],
+    start: int,
+    remaining_requirement: float,
+    costs: list[float],
+    contributions: list[float],
+) -> float:
+    """LP-relaxation cost of covering ``remaining_requirement``.
+
+    Users are pre-sorted by cost per contribution; taking them greedily and
+    splitting the last fractionally is the optimal fractional cover, hence
+    a valid lower bound for the integral problem.  Returns ``inf`` when the
+    remaining users cannot cover the requirement even together.
+    """
+    if remaining_requirement <= _EPS:
+        return 0.0
+    bound = 0.0
+    needed = remaining_requirement
+    for idx in order[start:]:
+        q = contributions[idx]
+        if q <= 0.0:
+            continue
+        if q >= needed - _EPS:
+            return bound + costs[idx] * (needed / q)
+        bound += costs[idx]
+        needed -= q
+    return math.inf
+
+
+def branch_and_bound_single_task(
+    instance: SingleTaskInstance, stats: BnbStats | None = None
+) -> BaselineResult:
+    """Exact minimum knapsack by branch and bound.
+
+    Args:
+        instance: The single-task instance.
+        stats: Optional mutable stats object filled during the search.
+
+    Returns:
+        The optimal user set and its cost (ties broken toward the set the
+        search reaches first, i.e. preferring efficient users).
+
+    Raises:
+        InfeasibleInstanceError: If all users together fall short.
+    """
+    if instance.requirement <= _EPS:
+        return BaselineResult(frozenset(), 0.0)
+    if not instance.is_feasible():
+        raise InfeasibleInstanceError(
+            f"total contribution {instance.total_contribution():.6g} "
+            f"< requirement {instance.requirement:.6g}"
+        )
+    stats = stats if stats is not None else BnbStats()
+    costs = list(instance.costs)
+    contributions = list(instance.contributions)
+    n = instance.n_users
+    # Cost-efficiency order (cost per unit contribution, zero-q users last).
+    order = sorted(
+        range(n),
+        key=lambda i: (
+            math.inf if contributions[i] <= 0 else costs[i] / contributions[i],
+            instance.user_ids[i],
+        ),
+    )
+
+    # Warm-start the incumbent with Min-Greedy (a valid feasible solution).
+    warm = min_greedy_single_task(instance)
+    best_cost = warm.total_cost
+    best_set = frozenset(instance.index_of(uid) for uid in warm.selected)
+
+    chosen: list[int] = []
+
+    def search(position: int, current_cost: float, remaining: float) -> None:
+        nonlocal best_cost, best_set
+        stats.nodes_explored += 1
+        if remaining <= _EPS:
+            if current_cost < best_cost - _EPS:
+                best_cost = current_cost
+                best_set = frozenset(chosen)
+            return
+        if position >= n:
+            return
+        bound = _fractional_bound(order, position, remaining, costs, contributions)
+        if math.isinf(bound):
+            stats.nodes_pruned_infeasible += 1
+            return
+        if current_cost + bound >= best_cost - _EPS:
+            stats.nodes_pruned_bound += 1
+            return
+        idx = order[position]
+        # Include first (the fractional bound suggests efficient users are in).
+        chosen.append(idx)
+        search(
+            position + 1,
+            current_cost + costs[idx],
+            remaining - contributions[idx],
+        )
+        chosen.pop()
+        # Exclude.
+        search(position + 1, current_cost, remaining)
+
+    search(0, 0.0, instance.requirement)
+    selected_ids = frozenset(instance.user_ids[i] for i in best_set)
+    return BaselineResult(selected_ids, best_cost)

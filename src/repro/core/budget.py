@@ -1,0 +1,115 @@
+"""Platform budget analysis for the reward scaling factor α (paper, §III-B).
+
+The paper introduces ``α`` as "a reward scaling factor that can be adjusted
+according to the budget constraint of the platform" and never returns to
+it.  This module makes that remark operational:
+
+* the platform's **expected spend** under an outcome decomposes linearly in
+  ``α``: each winner's expected payment is
+  ``p·((1−p̄)α + c) + (1−p)·(−p̄α + c) = (p − p̄)·α + c``
+  — her cost plus her expected utility — so total expected spend is
+  ``Σ c_i + α · Σ (p_i − p̄_i)``;
+* :func:`spend_decomposition` returns those two coefficients;
+* :func:`max_alpha_for_budget` inverts the relation: the largest ``α`` whose
+  expected spend stays within a budget (the platform's knob);
+* :func:`worst_case_spend` bounds the realised (not expected) spend —
+  relevant because EC contracts settle per execution, with
+  ``r¹ = (1−p̄)α + c`` the per-winner worst case.
+
+All quantities take the winners' *success probabilities* as input (single
+task: their PoS; multi-task: probability of completing any bundle task), so
+the module works for both mechanisms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ValidationError
+from .rewards import ECReward
+
+__all__ = [
+    "SpendDecomposition",
+    "spend_decomposition",
+    "expected_spend",
+    "max_alpha_for_budget",
+    "worst_case_spend",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SpendDecomposition:
+    """Expected platform spend as ``base + alpha_coefficient · α``.
+
+    ``base`` is the winners' total (verified) cost; ``alpha_coefficient`` is
+    ``Σ (p_i − p̄_i)`` — the winners' aggregate truthfulness surplus, which
+    is non-negative for truthful winners.
+    """
+
+    base: float
+    alpha_coefficient: float
+
+    def at(self, alpha: float) -> float:
+        """Expected spend at a given ``α``."""
+        return self.base + self.alpha_coefficient * alpha
+
+
+def spend_decomposition(
+    rewards: dict[int, ECReward], success_probabilities: dict[int, float]
+) -> SpendDecomposition:
+    """Decompose expected spend into cost base and α-linear surplus term."""
+    base = 0.0
+    coefficient = 0.0
+    for uid, contract in rewards.items():
+        if uid not in success_probabilities:
+            raise ValidationError(f"missing success probability for winner {uid}")
+        p = success_probabilities[uid]
+        if not (0.0 <= p <= 1.0):
+            raise ValidationError(f"success probability for {uid} out of range: {p!r}")
+        base += contract.cost
+        coefficient += p - contract.critical_pos
+    return SpendDecomposition(base=base, alpha_coefficient=coefficient)
+
+
+def expected_spend(
+    rewards: dict[int, ECReward], success_probabilities: dict[int, float]
+) -> float:
+    """Expected total reward paid under the contracts as priced (their α)."""
+    total = 0.0
+    for uid, contract in rewards.items():
+        p = success_probabilities[uid]
+        total += p * contract.success_reward + (1.0 - p) * contract.failure_reward
+    return total
+
+
+def max_alpha_for_budget(
+    rewards: dict[int, ECReward],
+    success_probabilities: dict[int, float],
+    budget: float,
+) -> float:
+    """Largest ``α`` whose *expected* spend stays within ``budget``.
+
+    The contracts' critical PoS values are α-independent (they come from
+    the allocation), so re-scaling α re-prices the same winners.  Raises
+    when even ``α → 0`` exceeds the budget (the winners' costs alone do),
+    and returns ``inf`` when the surplus coefficient is zero (spend does
+    not grow with α).
+    """
+    decomposition = spend_decomposition(rewards, success_probabilities)
+    if decomposition.base > budget + 1e-12:
+        raise ValidationError(
+            f"winners' costs ({decomposition.base:.6g}) alone exceed the "
+            f"budget ({budget:.6g}); no alpha is feasible"
+        )
+    if decomposition.alpha_coefficient <= 1e-15:
+        return float("inf")
+    return (budget - decomposition.base) / decomposition.alpha_coefficient
+
+
+def worst_case_spend(rewards: dict[int, ECReward]) -> float:
+    """Realised spend if every winner succeeds: ``Σ (1−p̄_i)·α + c_i``.
+
+    This is the maximum the platform can owe in one settlement round (the
+    failure branch always pays less), useful for reserve sizing.
+    """
+    return sum(contract.success_reward for contract in rewards.values())

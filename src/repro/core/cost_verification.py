@@ -1,0 +1,111 @@
+"""Cost verification scaffolding (paper, §III-A).
+
+The mechanisms are strategy-proof in the *PoS* dimension; for the cost
+dimension the paper assumes the platform can verify declared costs after
+execution by monitoring indicators (energy use, data-transmission fees) and
+punish liars.  This module implements that verification loop:
+
+* :class:`CostReport` — the post-execution measurement for one user;
+* :class:`CostVerifier` — compares declared vs. measured cost with a
+  relative tolerance (measurements are noisy) and produces
+  :class:`CostAudit` results;
+* a simple punishment policy: a detected liar forfeits her reward and pays a
+  fine proportional to the discrepancy.
+
+This is deliberately scaffolding, not a mechanism with its own game-theoretic
+guarantee — the paper defers joint cost-and-PoS strategy-proofness to future
+work (§VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ValidationError
+
+__all__ = ["CostReport", "CostAudit", "CostVerifier"]
+
+
+@dataclass(frozen=True, slots=True)
+class CostReport:
+    """A post-execution cost measurement for one user."""
+
+    user_id: int
+    declared_cost: float
+    measured_cost: float
+
+    def __post_init__(self) -> None:
+        if self.declared_cost <= 0:
+            raise ValidationError(f"declared cost must be positive: {self.declared_cost!r}")
+        if self.measured_cost < 0:
+            raise ValidationError(f"measured cost must be >= 0: {self.measured_cost!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class CostAudit:
+    """The verifier's verdict for one user.
+
+    ``adjusted_reward`` is the reward the platform actually pays after the
+    audit: the original reward for honest users, and
+    ``-fine`` for detected liars (reward forfeited, fine collected).
+    """
+
+    user_id: int
+    honest: bool
+    discrepancy: float
+    original_reward: float
+    adjusted_reward: float
+
+
+class CostVerifier:
+    """Declared-vs-measured cost auditing with a punishment policy.
+
+    Args:
+        tolerance: Relative discrepancy allowed before a declaration is
+            flagged (default 10%, generous to measurement noise).
+        fine_rate: Fine charged per unit of (absolute) cost discrepancy for
+            flagged users.
+    """
+
+    def __init__(self, tolerance: float = 0.10, fine_rate: float = 2.0):
+        if tolerance < 0:
+            raise ValidationError(f"tolerance must be >= 0, got {tolerance!r}")
+        if fine_rate < 0:
+            raise ValidationError(f"fine_rate must be >= 0, got {fine_rate!r}")
+        self.tolerance = tolerance
+        self.fine_rate = fine_rate
+
+    def is_honest(self, report: CostReport) -> bool:
+        """Whether the declared cost is within tolerance of the measurement.
+
+        Only *over*-declaration is punished: declaring less than the true
+        cost can never profit a user (her utility falls either way), and
+        measurements can legitimately come in above a truthful declaration.
+        """
+        if report.declared_cost <= report.measured_cost:
+            return True
+        return report.declared_cost <= report.measured_cost * (1.0 + self.tolerance)
+
+    def audit(self, report: CostReport, reward: float) -> CostAudit:
+        """Audit one user and compute the post-audit reward."""
+        discrepancy = report.declared_cost - report.measured_cost
+        honest = self.is_honest(report)
+        if honest:
+            adjusted = reward
+        else:
+            adjusted = -self.fine_rate * abs(discrepancy)
+        return CostAudit(
+            user_id=report.user_id,
+            honest=honest,
+            discrepancy=discrepancy,
+            original_reward=reward,
+            adjusted_reward=adjusted,
+        )
+
+    def audit_all(
+        self, reports: list[CostReport], rewards: dict[int, float]
+    ) -> dict[int, CostAudit]:
+        """Audit a batch; users without a reward entry default to reward 0."""
+        return {
+            r.user_id: self.audit(r, rewards.get(r.user_id, 0.0)) for r in reports
+        }

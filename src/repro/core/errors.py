@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so a
+caller can catch a single base class.  The hierarchy distinguishes between
+
+* malformed inputs (:class:`ValidationError`),
+* well-formed but unsolvable instances (:class:`InfeasibleInstanceError`),
+* failures of internal search procedures (:class:`CriticalBidError`), and
+* requests that exceed a solver's supported size (:class:`SolverLimitError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input (type profile, bid, configuration, ...) failed validation.
+
+    Also a :class:`ValueError` so that generic callers that only expect the
+    standard exception still work.
+    """
+
+
+class InfeasibleInstanceError(ReproError):
+    """No subset of users can satisfy the contribution requirements.
+
+    Raised by winner-determination algorithms when the aggregate contribution
+    of all participating users is below a task's requirement.  Carries the set
+    of task ids that cannot be covered (when known).
+    """
+
+    def __init__(self, message: str, uncoverable_tasks: frozenset[int] | None = None):
+        super().__init__(message)
+        self.uncoverable_tasks: frozenset[int] = uncoverable_tasks or frozenset()
+
+
+class CriticalBidError(ReproError):
+    """The critical-bid search could not bracket a winning/losing boundary."""
+
+
+class SolverLimitError(ReproError):
+    """An exact solver was asked to handle an instance beyond its size limit.
+
+    The exhaustive-search optimum is exponential in the number of users; the
+    limit guards against accidentally launching an intractable computation.
+    """

@@ -1,0 +1,218 @@
+"""Dynamic programming for knapsack problems (paper, Algorithm 1).
+
+The paper's Algorithm 1 maintains, for each prefix of users, a list of
+non-dominated states ``(I, Q, C)`` — a user subset with its exact total
+contribution and total cost.  A state dominates another when it is at least
+as good in both coordinates (``C <= C'`` and ``Q >= Q'``).  The surviving
+states form a Pareto frontier, and either knapsack variant reads its answer
+off the final frontier:
+
+* **minimum knapsack** (the paper's single-task problem): cheapest state with
+  contribution at least the requirement ``Q``;
+* **maximum knapsack**: highest-contribution state with cost within budget.
+
+Implementation notes
+--------------------
+* States carry a parent pointer instead of an explicit subset, so memory is
+  ``O(frontier size)`` per layer and the selected set is reconstructed by
+  walking parents.
+* For the minimum-knapsack variant the contribution coordinate is *capped* at
+  the requirement: any surplus beyond ``Q`` is worthless, and capping makes
+  strictly more states comparable, shrinking the frontier.  (This preserves
+  optimality: a capped state is feasible iff the uncapped one is.)
+* When costs are non-negative integers — as in the FPTAS, which scales costs
+  before calling in here — the frontier has at most ``1 + sum(costs)``
+  entries, giving the paper's pseudo-polynomial bound
+  ``O(n * min(Q_s, C_s))``.
+* Ties are broken deterministically: between states with equal cost and equal
+  (capped) contribution the *earlier-constructed* state wins, i.e. the one
+  that prefers not to add the current item.  Determinism matters for the
+  monotonicity arguments (Lemma 1) and for reproducible auctions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .errors import InfeasibleInstanceError, ValidationError
+
+__all__ = [
+    "KnapsackState",
+    "knapsack_frontier",
+    "solve_min_knapsack",
+    "solve_max_knapsack",
+    "MinKnapsackSolution",
+]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True, slots=True)
+class KnapsackState:
+    """One non-dominated state of the dynamic program.
+
+    ``item`` is the index added to reach this state from ``parent``
+    (``None`` for the empty root state).  ``contribution`` may be capped,
+    see module docstring.
+    """
+
+    cost: float
+    contribution: float
+    item: int | None
+    parent: "KnapsackState | None"
+
+    def selected_items(self) -> frozenset[int]:
+        """Reconstruct the item-index set by walking parent pointers."""
+        items: list[int] = []
+        state: KnapsackState | None = self
+        while state is not None:
+            if state.item is not None:
+                items.append(state.item)
+            state = state.parent
+        return frozenset(items)
+
+
+def _merge_frontiers(
+    old: list[KnapsackState], new: list[KnapsackState]
+) -> list[KnapsackState]:
+    """Merge two cost-sorted frontiers, dropping dominated states.
+
+    Both inputs are sorted by ascending cost with strictly increasing
+    contribution.  The result preserves that invariant.  ``old`` states win
+    ties (see module docstring).
+    """
+    merged: list[KnapsackState] = []
+    i = j = 0
+    while i < len(old) or j < len(new):
+        if j >= len(new):
+            candidate = old[i]
+            i += 1
+        elif i >= len(old):
+            candidate = new[j]
+            j += 1
+        elif old[i].cost <= new[j].cost + _EPS:
+            # Equal-cost tie: take the old state first so it survives pruning.
+            candidate = old[i]
+            i += 1
+        else:
+            candidate = new[j]
+            j += 1
+        if merged and candidate.contribution <= merged[-1].contribution + _EPS:
+            continue  # dominated by a cheaper-or-equal state already kept
+        if merged and abs(candidate.cost - merged[-1].cost) <= _EPS:
+            # Same cost but strictly better contribution: replace.
+            merged[-1] = candidate
+            continue
+        merged.append(candidate)
+    return merged
+
+
+def knapsack_frontier(
+    costs: Sequence[float],
+    contributions: Sequence[float],
+    cap: float | None = None,
+) -> list[KnapsackState]:
+    """Run Algorithm 1 and return the final Pareto frontier.
+
+    Args:
+        costs: Per-item costs (non-negative).
+        contributions: Per-item contributions (non-negative).
+        cap: Optional contribution cap (use the requirement for the
+            minimum-knapsack variant; ``None`` for maximum knapsack).
+
+    Returns:
+        The non-dominated states over all subsets of the items, sorted by
+        ascending cost and strictly ascending (capped) contribution.
+    """
+    if len(costs) != len(contributions):
+        raise ValidationError("costs and contributions must have equal length")
+    for k, (c, q) in enumerate(zip(costs, contributions)):
+        if c < 0:
+            raise ValidationError(f"item {k}: cost must be >= 0, got {c!r}")
+        if q < 0:
+            raise ValidationError(f"item {k}: contribution must be >= 0, got {q!r}")
+
+    frontier = [KnapsackState(cost=0.0, contribution=0.0, item=None, parent=None)]
+    for k, (c_k, q_k) in enumerate(zip(costs, contributions)):
+        extended = []
+        for state in frontier:
+            new_q = state.contribution + q_k
+            if cap is not None:
+                new_q = min(new_q, cap)
+            extended.append(
+                KnapsackState(cost=state.cost + c_k, contribution=new_q, item=k, parent=state)
+            )
+        # `extended` inherits the cost-sorted order of `frontier` (adding a
+        # constant preserves order) but its contributions need not be strictly
+        # increasing once capped; _merge_frontiers prunes those.
+        frontier = _merge_frontiers(frontier, extended)
+    return frontier
+
+
+@dataclass(frozen=True, slots=True)
+class MinKnapsackSolution:
+    """Result of a minimum-knapsack solve: item indices plus both costs.
+
+    ``cost`` is the objective value in the (possibly scaled) cost domain the
+    DP ran in; callers using scaled costs should recompute real cost from the
+    item set.
+    """
+
+    items: frozenset[int]
+    cost: float
+    contribution: float
+
+
+def solve_min_knapsack(
+    costs: Sequence[float],
+    contributions: Sequence[float],
+    requirement: float,
+) -> MinKnapsackSolution:
+    """Exact minimum knapsack via Algorithm 1.
+
+    Finds the minimum-cost item subset whose total contribution reaches
+    ``requirement``.  Raises :class:`InfeasibleInstanceError` when even the
+    full set falls short.
+    """
+    if requirement < 0:
+        raise ValidationError(f"requirement must be >= 0, got {requirement!r}")
+    frontier = knapsack_frontier(costs, contributions, cap=requirement)
+    for state in frontier:  # sorted by cost: first feasible state is optimal
+        if state.contribution >= requirement - _EPS:
+            items = state.selected_items()
+            return MinKnapsackSolution(
+                items=items,
+                cost=state.cost,
+                contribution=sum(contributions[i] for i in items),
+            )
+    raise InfeasibleInstanceError(
+        f"total contribution {sum(contributions):.6g} < requirement {requirement:.6g}"
+    )
+
+
+def solve_max_knapsack(
+    costs: Sequence[float],
+    contributions: Sequence[float],
+    budget: float,
+) -> MinKnapsackSolution:
+    """Exact maximum knapsack via Algorithm 1 (kept for completeness/tests).
+
+    Finds the maximum-contribution subset whose total cost stays within
+    ``budget``.  The empty set is always feasible.
+    """
+    if budget < 0:
+        raise ValidationError(f"budget must be >= 0, got {budget!r}")
+    frontier = knapsack_frontier(costs, contributions, cap=None)
+    best: KnapsackState | None = None
+    for state in frontier:
+        if state.cost <= budget + _EPS:
+            if best is None or state.contribution > best.contribution:
+                best = state
+    assert best is not None  # root state always qualifies
+    items = best.selected_items()
+    return MinKnapsackSolution(
+        items=items,
+        cost=best.cost,
+        contribution=best.contribution,
+    )

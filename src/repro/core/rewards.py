@@ -1,0 +1,132 @@
+"""Execution-contingent (EC) reward scheme (paper, §III-A/B/C).
+
+Plain critical-price payments cannot make misreporting the PoS unprofitable,
+because the PoS — unlike the cost — changes the *allocation* but not a
+VCG-style payment.  The paper therefore pays winners contingent on the
+realised execution outcome (following Porter et al.'s fault-tolerant
+mechanism design):
+
+* success:   ``r = (1 − p̄)·α + c``
+* failure:   ``r = −p̄·α + c``
+
+where ``p̄`` is the user's **critical PoS** (the minimum PoS she could have
+declared and still won), ``c`` her (verified) cost, and ``α > 0`` a platform
+scaling factor.  A winner's expected utility is then
+
+* single task:  ``u = (p − p̄)·α``                          (Theorem 1)
+* multi-task:   ``u = (e^{−q̄} − e^{−Σ_j q_i^j})·α``        (Equation 6)
+
+which is non-negative exactly when the true type wins — the crux of the
+strategy-proofness proofs.  In the multi-task single-minded setting "success"
+means completing *any* task of the bundle.
+
+This module holds the reward contract (:class:`ECReward`) and the
+expected-utility formulas; critical bids themselves are computed in
+:mod:`repro.core.critical`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .errors import ValidationError
+from .transforms import contribution_to_pos
+
+__all__ = [
+    "ECReward",
+    "ec_reward",
+    "expected_utility_single",
+    "expected_utility_multi",
+    "expected_utility_generic",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ECReward:
+    """A winner's execution-contingent reward contract.
+
+    Attributes:
+        user_id: The winning user.
+        critical_pos: ``p̄`` — minimum PoS that still wins.
+        critical_contribution: ``q̄ = −ln(1 − p̄)``.
+        cost: The user's (verified) cost ``c_i``.
+        alpha: The platform's reward scaling factor.
+        success_reward: Paid when the user completes the task
+            (any task of her bundle, in the multi-task setting).
+        failure_reward: Paid otherwise (may be negative — a fine).
+    """
+
+    user_id: int
+    critical_pos: float
+    critical_contribution: float
+    cost: float
+    alpha: float
+    success_reward: float
+    failure_reward: float
+
+    def realized(self, success: bool) -> float:
+        """The reward actually paid for a realised outcome."""
+        return self.success_reward if success else self.failure_reward
+
+    def realized_utility(self, success: bool) -> float:
+        """Realised utility ``r − c`` for an outcome."""
+        return self.realized(success) - self.cost
+
+    def expected_utility(self, true_success_probability: float) -> float:
+        """Expected utility of a winner whose overall success probability is ``p``.
+
+        Equals ``(p − p̄)·α`` — Equation (1) evaluated at this contract.
+        """
+        return expected_utility_generic(
+            true_success_probability, self.success_reward, self.failure_reward, self.cost
+        )
+
+
+def ec_reward(
+    user_id: int, critical_contribution: float, cost: float, alpha: float
+) -> ECReward:
+    """Build the EC contract from a critical contribution ``q̄``.
+
+    ``p̄ = 1 − e^{−q̄}``; success pays ``(1−p̄)α + c``, failure ``−p̄α + c``.
+    """
+    if alpha <= 0 or not math.isfinite(alpha):
+        raise ValidationError(f"alpha must be positive and finite, got {alpha!r}")
+    if critical_contribution < 0:
+        raise ValidationError(
+            f"critical contribution must be >= 0, got {critical_contribution!r}"
+        )
+    critical_pos = contribution_to_pos(critical_contribution)
+    return ECReward(
+        user_id=user_id,
+        critical_pos=critical_pos,
+        critical_contribution=critical_contribution,
+        cost=cost,
+        alpha=alpha,
+        success_reward=(1.0 - critical_pos) * alpha + cost,
+        failure_reward=-critical_pos * alpha + cost,
+    )
+
+
+def expected_utility_generic(
+    pos: float, success_reward: float, failure_reward: float, cost: float
+) -> float:
+    """Equation (1): ``u = p·(r¹ − r²) − c + r²``."""
+    return pos * (success_reward - failure_reward) - cost + failure_reward
+
+
+def expected_utility_single(true_pos: float, critical_pos: float, alpha: float) -> float:
+    """Single-task winner's expected utility ``(p − p̄)·α`` (Theorem 1)."""
+    return (true_pos - critical_pos) * alpha
+
+
+def expected_utility_multi(
+    true_total_contribution: float, critical_contribution: float, alpha: float
+) -> float:
+    """Multi-task winner's expected utility (Equation 6).
+
+    ``u = (e^{−q̄} − e^{−Σ_j q_i^j})·α`` where the sum runs over the user's
+    true per-task contributions; ``1 − e^{−Σ q}`` is her probability of
+    completing at least one task of her bundle.
+    """
+    return (math.exp(-critical_contribution) - math.exp(-true_total_contribution)) * alpha

@@ -1,0 +1,152 @@
+"""JSON (de)serialisation for auction instances and outcomes.
+
+A production platform needs to persist what it auctioned and what it owes:
+this module round-trips the core value objects through plain JSON so
+campaigns can be archived, audited, and replayed.
+
+* instances: :func:`instance_to_dict` / :func:`instance_from_dict` and the
+  file-level :func:`save_instance` / :func:`load_instance`;
+* single-task instances: :func:`single_task_to_dict` / ``..._from_dict``;
+* outcomes: :func:`outcome_to_dict` — one-way by design (an outcome is
+  reproducible from the instance + mechanism parameters, so only the
+  human-auditable record is stored: winners, contracts, achieved PoS).
+
+The JSON schema is versioned (``"schema": 1``); loaders reject unknown
+versions instead of guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .errors import ValidationError
+from .multi_task import MultiTaskOutcome
+from .single_task import SingleTaskOutcome
+from .types import AuctionInstance, SingleTaskInstance, Task, UserType
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+    "single_task_to_dict",
+    "single_task_from_dict",
+    "outcome_to_dict",
+]
+
+SCHEMA_VERSION = 1
+
+
+def _check_schema(payload: dict[str, Any], expected_kind: str) -> None:
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValidationError(
+            f"unsupported schema version {payload.get('schema')!r}; "
+            f"this build reads version {SCHEMA_VERSION}"
+        )
+    if payload.get("kind") != expected_kind:
+        raise ValidationError(
+            f"expected kind {expected_kind!r}, got {payload.get('kind')!r}"
+        )
+
+
+def instance_to_dict(instance: AuctionInstance) -> dict[str, Any]:
+    """A multi-task instance as a JSON-ready dict."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "auction_instance",
+        "tasks": [
+            {"task_id": t.task_id, "requirement": t.requirement} for t in instance.tasks
+        ],
+        "users": [
+            {
+                "user_id": u.user_id,
+                "cost": u.cost,
+                "pos": {str(j): p for j, p in sorted(u.pos.items())},
+            }
+            for u in instance.users
+        ],
+    }
+
+
+def instance_from_dict(payload: dict[str, Any]) -> AuctionInstance:
+    """Rebuild a multi-task instance (validates via the type constructors)."""
+    _check_schema(payload, "auction_instance")
+    tasks = [Task(t["task_id"], t["requirement"]) for t in payload["tasks"]]
+    users = [
+        UserType(
+            u["user_id"],
+            cost=u["cost"],
+            pos={int(j): p for j, p in u["pos"].items()},
+        )
+        for u in payload["users"]
+    ]
+    return AuctionInstance(tasks, users)
+
+
+def save_instance(instance: AuctionInstance, path: str | Path) -> None:
+    """Write an instance to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(instance_to_dict(instance), handle, indent=2, sort_keys=True)
+
+
+def load_instance(path: str | Path) -> AuctionInstance:
+    """Read an instance back from a JSON file."""
+    with open(path) as handle:
+        return instance_from_dict(json.load(handle))
+
+
+def single_task_to_dict(instance: SingleTaskInstance) -> dict[str, Any]:
+    """A single-task instance as a JSON-ready dict."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "single_task_instance",
+        "requirement": instance.requirement,
+        "user_ids": list(instance.user_ids),
+        "costs": list(instance.costs),
+        "contributions": list(instance.contributions),
+    }
+
+
+def single_task_from_dict(payload: dict[str, Any]) -> SingleTaskInstance:
+    """Rebuild a single-task instance."""
+    _check_schema(payload, "single_task_instance")
+    return SingleTaskInstance(
+        requirement=payload["requirement"],
+        user_ids=tuple(payload["user_ids"]),
+        costs=tuple(payload["costs"]),
+        contributions=tuple(payload["contributions"]),
+    )
+
+
+def outcome_to_dict(outcome: SingleTaskOutcome | MultiTaskOutcome) -> dict[str, Any]:
+    """An auditable record of a cleared auction (one-way: not re-loadable).
+
+    Contains winners, social cost, achieved PoS, and the full EC contract of
+    every winner — everything a settlement audit needs.
+    """
+    contracts = {
+        str(uid): {
+            "critical_pos": contract.critical_pos,
+            "critical_contribution": contract.critical_contribution,
+            "cost": contract.cost,
+            "alpha": contract.alpha,
+            "success_reward": contract.success_reward,
+            "failure_reward": contract.failure_reward,
+        }
+        for uid, contract in outcome.rewards.items()
+    }
+    record: dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "kind": "auction_outcome",
+        "setting": "single" if isinstance(outcome, SingleTaskOutcome) else "multi",
+        "winners": sorted(outcome.winners),
+        "social_cost": outcome.social_cost,
+        "contracts": contracts,
+    }
+    if isinstance(outcome, SingleTaskOutcome):
+        record["achieved_pos"] = outcome.achieved_pos
+    else:
+        record["achieved_pos"] = {str(j): p for j, p in sorted(outcome.achieved_pos.items())}
+    return record

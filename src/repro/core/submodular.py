@@ -1,0 +1,166 @@
+"""Submodular coverage function for the multi-task setting (paper, Def. 1).
+
+With a minimal contribution unit ``Δq``, the paper defines
+
+``f(I) = (1/Δq) · Σ_j min{ Q_j , Σ_{i∈I: j∈S_i} q_i^j }``
+
+— the number of contribution units a user set provides toward the (capped)
+task requirements.  ``f`` is normalised (``f(∅)=0``), monotone and
+submodular; the greedy winner determination (Algorithm 4) is the classic
+greedy for *submodular set cover* and inherits the ``H(γ)`` approximation
+bound of Theorem 5, where ``γ = max_i f({i})`` and ``H`` is the harmonic
+number.
+
+This module implements ``f`` (both in units of ``Δq`` and un-normalised),
+the marginal-gain helper the greedy uses, empirical submodularity /
+monotonicity checkers used by the property-based tests, and the harmonic
+bound itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterable, Sequence
+
+from .errors import ValidationError
+from .types import AuctionInstance, UserType
+
+__all__ = [
+    "coverage",
+    "coverage_units",
+    "marginal_coverage",
+    "harmonic",
+    "gamma_parameter",
+    "greedy_approximation_bound",
+    "check_submodular",
+    "check_monotone",
+]
+
+
+def coverage(instance: AuctionInstance, selected: Iterable[int]) -> float:
+    """Un-normalised coverage ``Σ_j min{Q_j, Σ_{i∈I} q_i^j}`` of a user-id set."""
+    chosen = set(selected)
+    users = [u for u in instance.users if u.user_id in chosen]
+    total = 0.0
+    for task in instance.tasks:
+        provided = sum(u.contribution(task.task_id) for u in users)
+        total += min(task.contribution_requirement, provided)
+    return total
+
+
+def coverage_units(
+    instance: AuctionInstance, selected: Iterable[int], delta_q: float
+) -> float:
+    """The paper's ``f(I)``: coverage measured in units of ``Δq``."""
+    if delta_q <= 0:
+        raise ValidationError(f"delta_q must be positive, got {delta_q!r}")
+    return coverage(instance, selected) / delta_q
+
+
+def marginal_coverage(
+    instance: AuctionInstance, selected: Iterable[int], user: UserType
+) -> float:
+    """Marginal gain ``f(I ∪ {x}) − f(I)`` (un-normalised).
+
+    Computed directly as ``Σ_j min{q_x^j, remaining_j}`` — the quantity
+    Algorithm 4's contribution-cost ratio uses — rather than by two coverage
+    evaluations, to avoid cancellation.
+    """
+    chosen = set(selected)
+    others = [u for u in instance.users if u.user_id in chosen]
+    gain = 0.0
+    for task_id, p in user.pos.items():
+        requirement = instance.task_by_id(task_id).contribution_requirement
+        provided = sum(u.contribution(task_id) for u in others)
+        remaining = max(0.0, requirement - provided)
+        gain += min(user.contribution(task_id), remaining)
+    return gain
+
+
+def harmonic(x: int) -> float:
+    """The ``x``-th harmonic number ``H(x) = 1 + 1/2 + ... + 1/x`` (``H(0)=0``)."""
+    if x < 0:
+        raise ValidationError(f"harmonic number undefined for negative x: {x}")
+    if x > 10_000:
+        # Asymptotic expansion; error < 1e-12 in this range.
+        gamma_euler = 0.5772156649015329
+        return math.log(x) + gamma_euler + 1.0 / (2 * x) - 1.0 / (12 * x * x)
+    return sum(1.0 / i for i in range(1, x + 1))
+
+
+def gamma_parameter(instance: AuctionInstance, delta_q: float) -> int:
+    """The paper's ``γ = max_i (1/Δq) Σ_j min{Q_j, q_i^j}`` (Theorem 5).
+
+    Measured in whole ``Δq`` units (ceiling, so the bound stays valid for
+    contributions that are not exact multiples of ``Δq``).
+    """
+    if delta_q <= 0:
+        raise ValidationError(f"delta_q must be positive, got {delta_q!r}")
+    best = 0.0
+    for user in instance.users:
+        value = sum(
+            min(instance.task_by_id(j).contribution_requirement, user.contribution(j))
+            for j in user.task_set
+        )
+        best = max(best, value)
+    return int(math.ceil(best / delta_q - 1e-12))
+
+
+def greedy_approximation_bound(instance: AuctionInstance, delta_q: float) -> float:
+    """The ``H(γ)`` approximation guarantee of Algorithm 4 for this instance."""
+    return harmonic(max(1, gamma_parameter(instance, delta_q)))
+
+
+def check_monotone(
+    instance: AuctionInstance, subsets: Sequence[frozenset[int]] | None = None
+) -> bool:
+    """Empirically verify monotonicity of the coverage function.
+
+    Checks ``f(X) <= f(Y)`` for every nested pair among ``subsets`` (all
+    subsets when ``None`` and the instance is small).  Intended for tests.
+    """
+    pools = _subset_pool(instance, subsets)
+    values = {s: coverage(instance, s) for s in pools}
+    for x, y in itertools.combinations(pools, 2):
+        small, large = (x, y) if len(x) <= len(y) else (y, x)
+        if small <= large and values[small] > values[large] + 1e-9:
+            return False
+    return True
+
+
+def check_submodular(
+    instance: AuctionInstance, subsets: Sequence[frozenset[int]] | None = None
+) -> bool:
+    """Empirically verify the diminishing-returns inequality of Definition 1.
+
+    For every nested pair ``X ⊆ Y`` in the pool and every user ``x ∉ Y``,
+    checks ``f(X∪{x}) − f(X) >= f(Y∪{x}) − f(Y)``.  Intended for tests.
+    """
+    pools = _subset_pool(instance, subsets)
+    all_ids = {u.user_id for u in instance.users}
+    for x, y in itertools.product(pools, repeat=2):
+        if not x <= y:
+            continue
+        for uid in all_ids - y:
+            gain_small = coverage(instance, x | {uid}) - coverage(instance, x)
+            gain_large = coverage(instance, y | {uid}) - coverage(instance, y)
+            if gain_small < gain_large - 1e-9:
+                return False
+    return True
+
+
+def _subset_pool(
+    instance: AuctionInstance, subsets: Sequence[frozenset[int]] | None
+) -> list[frozenset[int]]:
+    if subsets is not None:
+        return list(subsets)
+    ids = [u.user_id for u in instance.users]
+    if len(ids) > 10:
+        raise ValidationError(
+            "exhaustive subset enumeration limited to 10 users; pass explicit subsets"
+        )
+    pool: list[frozenset[int]] = []
+    for r in range(len(ids) + 1):
+        pool.extend(frozenset(c) for c in itertools.combinations(ids, r))
+    return pool

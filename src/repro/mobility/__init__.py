@@ -1,0 +1,50 @@
+"""Mobility substrate: city grid, taxi traces, and the Markov mobility model.
+
+The paper's evaluation substrate — a Shanghai taxi GPS trace discretised to
+a 2 km grid, with per-taxi Markov models learned from it.  The real dataset
+is proprietary; :mod:`repro.mobility.synthetic` generates a calibrated
+synthetic fleet with the same record schema (see DESIGN.md, substitution 1).
+"""
+
+from .analytics import (
+    TraceSummary,
+    cell_popularity,
+    revisit_rate,
+    support_size_distribution,
+    trace_summary,
+)
+from .dataset import TraceDataset, TransitionPair, sequences_from_records, split_sequences
+from .grid import SHANGHAI_BBOX, CityGrid
+from .heatmap import SHADES, render_heatmap
+from .markov import MarkovMobilityModel, Smoothing, TaxiModel
+from .prediction import predicted_pos_samples, prediction_accuracy
+from .records import EventType, TraceRecord, read_trace_csv, write_trace_csv
+from .synthetic import FleetConfig, SyntheticTaxiFleet, TaxiGroundTruth
+
+__all__ = [
+    "CityGrid",
+    "SHANGHAI_BBOX",
+    "TraceRecord",
+    "EventType",
+    "read_trace_csv",
+    "write_trace_csv",
+    "FleetConfig",
+    "SyntheticTaxiFleet",
+    "TaxiGroundTruth",
+    "MarkovMobilityModel",
+    "TaxiModel",
+    "Smoothing",
+    "TraceDataset",
+    "TransitionPair",
+    "sequences_from_records",
+    "split_sequences",
+    "prediction_accuracy",
+    "predicted_pos_samples",
+    "TraceSummary",
+    "trace_summary",
+    "support_size_distribution",
+    "cell_popularity",
+    "revisit_rate",
+    "render_heatmap",
+    "SHADES",
+]

@@ -1,0 +1,103 @@
+"""Trace dataset handling: records → per-taxi location sequences, splits.
+
+Bridges the raw event stream (:mod:`repro.mobility.records`) and the Markov
+model (:mod:`repro.mobility.markov`): events are mapped to grid cells,
+ordered by time per taxi, and optionally split into a training prefix and a
+held-out set of (current, next) transition pairs — the paper's "snapshot"
+evaluation of prediction accuracy (§IV-B).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..core.errors import ValidationError
+from .grid import CityGrid
+from .records import TraceRecord
+
+__all__ = ["TransitionPair", "sequences_from_records", "split_sequences", "TraceDataset"]
+
+
+@dataclass(frozen=True, slots=True)
+class TransitionPair:
+    """A held-out observed transition, for prediction evaluation."""
+
+    taxi_id: int
+    current_cell: int
+    next_cell: int
+
+
+def sequences_from_records(
+    records: Iterable[TraceRecord], grid: CityGrid
+) -> dict[int, list[int]]:
+    """Per-taxi time-ordered cell sequences.
+
+    Consecutive duplicate cells are collapsed: staying put is not a
+    transition the mobility model should count.
+    """
+    by_taxi: dict[int, list[tuple[float, int]]] = defaultdict(list)
+    for record in records:
+        cell = grid.cell_of(record.lon, record.lat)
+        by_taxi[record.taxi_id].append((record.timestamp, cell))
+    sequences: dict[int, list[int]] = {}
+    for taxi_id, events in by_taxi.items():
+        events.sort()
+        cells: list[int] = []
+        for _, cell in events:
+            if not cells or cells[-1] != cell:
+                cells.append(cell)
+        sequences[taxi_id] = cells
+    return sequences
+
+
+def split_sequences(
+    sequences: Mapping[int, list[int]], train_fraction: float = 0.8
+) -> tuple[dict[int, list[int]], list[TransitionPair]]:
+    """Split every sequence into a training prefix and held-out transitions.
+
+    The split is temporal (prefix/suffix), matching how a deployed platform
+    would train on history and predict the future.  Held-out pairs whose
+    current cell never appears in training data are still included — the
+    model must handle them (it falls back to a uniform guess).
+    """
+    if not (0.0 < train_fraction < 1.0):
+        raise ValidationError(f"train_fraction must be in (0, 1), got {train_fraction!r}")
+    train: dict[int, list[int]] = {}
+    held_out: list[TransitionPair] = []
+    for taxi_id, sequence in sequences.items():
+        cut = max(2, int(len(sequence) * train_fraction))
+        train[taxi_id] = sequence[:cut]
+        tail = sequence[cut - 1 :]  # overlap one element so the first test pair
+        for current, following in zip(tail, tail[1:]):  # starts where training ended
+            held_out.append(TransitionPair(taxi_id, current, following))
+    return train, held_out
+
+
+@dataclass(frozen=True)
+class TraceDataset:
+    """A materialised dataset: sequences plus an optional held-out split."""
+
+    sequences: dict[int, list[int]]
+    train: dict[int, list[int]]
+    held_out: tuple[TransitionPair, ...]
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[TraceRecord],
+        grid: CityGrid,
+        train_fraction: float = 0.8,
+    ) -> "TraceDataset":
+        sequences = sequences_from_records(records, grid)
+        train, held_out = split_sequences(sequences, train_fraction)
+        return cls(sequences=sequences, train=train, held_out=tuple(held_out))
+
+    @property
+    def n_taxis(self) -> int:
+        return len(self.sequences)
+
+    @property
+    def n_transitions(self) -> int:
+        return sum(max(0, len(s) - 1) for s in self.sequences.values())

@@ -1,0 +1,81 @@
+"""ASCII heatmaps of grid-valued data (no plotting dependencies).
+
+The repository ships without matplotlib, so the inspection tooling renders
+straight to the terminal: cell popularity, per-cell achieved PoS, coverage
+gaps — anything shaped "cell id → value" — as a character-shaded map of the
+city grid.  Used by examples and handy in a REPL::
+
+    from repro.mobility import CityGrid, cell_popularity, render_heatmap
+    print(render_heatmap(CityGrid(), dict(cell_popularity(records, grid, 10_000))))
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..core.errors import ValidationError
+from .grid import CityGrid
+
+__all__ = ["render_heatmap", "SHADES"]
+
+#: Intensity ramp from empty to maximal (index by scaled value).
+SHADES = " .:-=+*#%@"
+
+
+def render_heatmap(
+    grid: CityGrid,
+    values: Mapping[int, float],
+    max_width: int = 80,
+    legend: bool = True,
+) -> str:
+    """Render cell values as an ASCII map (north at the top).
+
+    Args:
+        grid: The city grid the cells index into.
+        values: Map from cell id to a non-negative intensity.  Cells absent
+            from the map render as blank.
+        max_width: Downsample columns (taking block maxima) so the map fits
+            a terminal of this width.
+        legend: Append a min/max legend line.
+
+    Returns:
+        The multi-line ASCII rendering.
+    """
+    if not values:
+        raise ValidationError("no values to render")
+    for cell in values:
+        if not (0 <= cell < grid.n_cells):
+            raise ValidationError(f"cell {cell} outside the grid")
+    peak = max(values.values())
+    if peak < 0:
+        raise ValidationError("intensities must be non-negative")
+
+    # Downsample factor (block size) so the rendering fits max_width.
+    block = max(1, -(-grid.n_cols // max_width))  # ceil division
+    out_cols = -(-grid.n_cols // block)
+    out_rows = -(-grid.n_rows // block)
+
+    cells_by_block: dict[tuple[int, int], float] = {}
+    for cell, value in values.items():
+        row, col = grid.row_col(cell)
+        key = (row // block, col // block)
+        cells_by_block[key] = max(cells_by_block.get(key, 0.0), value)
+
+    lines = []
+    for out_row in range(out_rows - 1, -1, -1):  # north (max lat) first
+        chars = []
+        for out_col in range(out_cols):
+            value = cells_by_block.get((out_row, out_col))
+            if value is None or peak == 0:
+                chars.append(SHADES[0])
+            else:
+                index = min(len(SHADES) - 1, int(value / peak * (len(SHADES) - 1) + 0.5))
+                chars.append(SHADES[index])
+        lines.append("".join(chars).rstrip())
+    rendering = "\n".join(lines)
+    if legend:
+        rendering += (
+            f"\n[{SHADES[1]}..{SHADES[-1]}] 0..{peak:g}"
+            f"  ({grid.n_rows}x{grid.n_cols} cells, block={block})"
+        )
+    return rendering

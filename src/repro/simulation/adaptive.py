@@ -1,0 +1,207 @@
+"""Adaptive multi-round campaigns with Bayesian PoS learning.
+
+The paper assumes users compute their PoS locally and the platform must
+elicit it truthfully.  Its future-work section (§VI) asks about verifying
+more of the users' private information; this module implements the natural
+platform-side counterpart for the PoS dimension: **learn PoS from observed
+execution outcomes across repeated campaign rounds**, so a long-running
+platform becomes progressively less dependent on declarations.
+
+* :class:`PosLearner` keeps one Beta posterior per (user, task) pair,
+  initialised from the users' declarations (treated as a prior with
+  configurable strength).  Each executed round contributes its realised
+  attempt outcomes as Bernoulli observations.
+* :class:`AdaptiveCampaign` runs the loop: clear the auction on the
+  learner's current estimates, execute against the *true* types, update,
+  repeat.  The posterior mean converges to the truth for users that keep
+  being selected — and the learner's error curve quantifies it.
+
+This also closes a robustness gap: a one-shot mechanism must rely on
+strategy-proofness alone, whereas a repeated platform can detect systematic
+PoS inflation statistically (an inflated declaration keeps losing Bernoulli
+trials and the posterior sinks toward the truth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.errors import InfeasibleInstanceError, ValidationError
+from ..core.multi_task import MultiTaskMechanism, MultiTaskOutcome
+from ..core.types import AuctionInstance, UserType
+from .engine import ExecutionResult, ExecutionSimulator
+
+__all__ = ["BetaBelief", "PosLearner", "RoundRecord", "AdaptiveCampaign"]
+
+#: Estimates are clamped below 1 so contributions stay finite and the
+#: mechanisms' validation accepts them.
+_MAX_ESTIMATE = 0.95
+
+
+@dataclass
+class BetaBelief:
+    """A Beta(a, b) posterior over one (user, task) success probability."""
+
+    a: float
+    b: float
+
+    def __post_init__(self) -> None:
+        if self.a <= 0 or self.b <= 0:
+            raise ValidationError(f"Beta parameters must be positive: ({self.a}, {self.b})")
+
+    @property
+    def mean(self) -> float:
+        return self.a / (self.a + self.b)
+
+    @property
+    def observations(self) -> float:
+        return self.a + self.b
+
+    def observe(self, success: bool) -> None:
+        if success:
+            self.a += 1.0
+        else:
+            self.b += 1.0
+
+
+class PosLearner:
+    """Per-(user, task) Beta posteriors seeded from declarations.
+
+    Args:
+        declared: The declared instance; each declared PoS ``p`` becomes a
+            Beta prior with mean ``p`` and total pseudo-count
+            ``prior_strength``.
+        prior_strength: How many observations the declaration is worth.
+            Small values let execution evidence dominate quickly.
+    """
+
+    def __init__(self, declared: AuctionInstance, prior_strength: float = 2.0):
+        if prior_strength <= 0:
+            raise ValidationError(f"prior_strength must be positive: {prior_strength!r}")
+        self._tasks = declared.tasks
+        self._users = {u.user_id: u for u in declared.users}
+        self.beliefs: dict[tuple[int, int], BetaBelief] = {}
+        for user in declared.users:
+            for task_id, p in user.pos.items():
+                # Clamp the prior mean into (0, 1) so both parameters stay
+                # positive even for declared 0 or 1.
+                mean = min(max(p, 1e-3), 1.0 - 1e-3)
+                self.beliefs[(user.user_id, task_id)] = BetaBelief(
+                    a=mean * prior_strength, b=(1.0 - mean) * prior_strength
+                )
+
+    def estimate(self, user_id: int, task_id: int) -> float:
+        """Current posterior-mean PoS estimate (clamped for the mechanisms)."""
+        belief = self.beliefs[(user_id, task_id)]
+        return min(belief.mean, _MAX_ESTIMATE)
+
+    def estimated_instance(self) -> AuctionInstance:
+        """The auction instance the platform would clear *right now*."""
+        users = []
+        for uid, user in self._users.items():
+            pos = {task_id: self.estimate(uid, task_id) for task_id in user.task_set}
+            users.append(UserType(uid, cost=user.cost, pos=pos))
+        return AuctionInstance(self._tasks, users)
+
+    def update(self, result: ExecutionResult) -> int:
+        """Fold one execution's attempt outcomes in; returns #observations."""
+        count = 0
+        for (uid, task_id), success in result.attempts.items():
+            key = (uid, task_id)
+            if key in self.beliefs:
+                self.beliefs[key].observe(success)
+                count += 1
+        return count
+
+    def mean_absolute_error(self, truth: AuctionInstance) -> float:
+        """Mean |posterior mean − true PoS| over all believed pairs."""
+        errors = []
+        for (uid, task_id), belief in self.beliefs.items():
+            true_pos = truth.user_by_id(uid).pos.get(task_id)
+            if true_pos is not None:
+                errors.append(abs(belief.mean - true_pos))
+        if not errors:
+            raise ValidationError("no overlapping (user, task) pairs with the truth")
+        return float(np.mean(errors))
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """One round of an adaptive campaign."""
+
+    round_index: int
+    outcome: MultiTaskOutcome = field(repr=False)
+    execution: ExecutionResult = field(repr=False)
+    estimate_error: float
+    social_cost: float
+    completion_fraction: float
+
+
+class AdaptiveCampaign:
+    """Repeated campaigns: clear on estimates, execute on truth, learn.
+
+    Args:
+        true_instance: The ground-truth types (execution draws from these).
+        declared_instance: What users declared (defaults to the truth —
+            i.e. truthful declarations — but pass an inflated instance to
+            watch the learner correct it).
+        alpha: Reward scaling for the per-round mechanism.
+        prior_strength: See :class:`PosLearner`.
+        seed: Execution RNG seed.
+    """
+
+    def __init__(
+        self,
+        true_instance: AuctionInstance,
+        declared_instance: AuctionInstance | None = None,
+        alpha: float = 10.0,
+        prior_strength: float = 2.0,
+        seed: int = 0,
+    ):
+        self.truth = true_instance
+        declared = declared_instance or true_instance
+        if {u.user_id for u in declared.users} != {u.user_id for u in true_instance.users}:
+            raise ValidationError("declared and true instances must cover the same users")
+        self.learner = PosLearner(declared, prior_strength=prior_strength)
+        self.mechanism = MultiTaskMechanism(alpha=alpha)
+        self.simulator = ExecutionSimulator(seed=seed)
+        self.history: list[RoundRecord] = []
+
+    def run_round(self) -> RoundRecord:
+        """One clear-execute-learn cycle.
+
+        Raises :class:`InfeasibleInstanceError` if the current estimates
+        make the instance uncoverable (possible when beliefs sink far below
+        truth early on); callers looping rounds may catch and continue —
+        the campaign simply cannot run that round.
+        """
+        estimated = self.learner.estimated_instance()
+        outcome = self.mechanism.run(estimated, compute_rewards=False)
+        # Execution uses TRUE types: winners attempt with their real PoS.
+        execution = self.simulator.simulate_multi(self.truth, outcome)
+        self.learner.update(execution)
+        completed = sum(1 for done in execution.task_completed.values() if done)
+        record = RoundRecord(
+            round_index=len(self.history),
+            outcome=outcome,
+            execution=execution,
+            estimate_error=self.learner.mean_absolute_error(self.truth),
+            social_cost=outcome.social_cost,
+            completion_fraction=completed / len(execution.task_completed),
+        )
+        self.history.append(record)
+        return record
+
+    def run(self, n_rounds: int) -> list[RoundRecord]:
+        """Run ``n_rounds`` cycles, skipping rounds whose estimates are
+        infeasible (recorded as gaps — the history only holds run rounds)."""
+        if n_rounds <= 0:
+            raise ValidationError(f"n_rounds must be positive: {n_rounds!r}")
+        for _ in range(n_rounds):
+            try:
+                self.run_round()
+            except InfeasibleInstanceError:
+                continue
+        return self.history

@@ -1,0 +1,183 @@
+"""Platform operations: the full campaign lifecycle in one orchestrator.
+
+The paper specifies the auction (Figure 1, steps 2–6); a deployed platform
+additionally executes, audits, settles, and archives.  :class:`Campaign`
+composes the library's pieces into that lifecycle:
+
+1. **clear** — run the strategy-proof auction on the declared instance
+   (:class:`~repro.core.auction.CrowdsensingAuction` dispatch);
+2. **execute** — Bernoulli execution against the *true* types
+   (:class:`~repro.simulation.engine.ExecutionSimulator`);
+3. **audit** — verify declared costs against measured ones and apply the
+   punishment policy (:class:`~repro.core.cost_verification.CostVerifier`,
+   the paper's §III-A assumption made operational);
+4. **settle** — pay the post-audit rewards and account platform spend
+   against the budget;
+5. **archive** — emit a JSON-ready record of the round
+   (:mod:`repro.core.serialization`).
+
+The orchestrator is deliberately stateless between rounds except for its
+ledger; for *learning* across rounds see
+:class:`~repro.simulation.adaptive.AdaptiveCampaign`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.auction import CrowdsensingAuction
+from ..core.cost_verification import CostReport, CostVerifier
+from ..core.errors import ValidationError
+from ..core.multi_task import MultiTaskOutcome
+from ..core.serialization import outcome_to_dict
+from ..core.single_task import SingleTaskOutcome
+from ..core.types import AuctionInstance, single_task_view
+from .engine import ExecutionResult, ExecutionSimulator
+
+__all__ = ["SettlementLedger", "CampaignRecord", "Campaign"]
+
+
+@dataclass
+class SettlementLedger:
+    """Running account of what the platform has paid out."""
+
+    budget: float
+    spent: float = 0.0
+    fines_collected: float = 0.0
+    rounds_settled: int = 0
+
+    @property
+    def remaining(self) -> float:
+        return self.budget - self.spent + self.fines_collected
+
+    def record(self, payments: dict[int, float]) -> None:
+        for amount in payments.values():
+            if amount >= 0:
+                self.spent += amount
+            else:
+                self.fines_collected += -amount
+        self.rounds_settled += 1
+
+
+@dataclass(frozen=True)
+class CampaignRecord:
+    """Everything one campaign round produced."""
+
+    outcome: SingleTaskOutcome | MultiTaskOutcome = field(repr=False)
+    execution: ExecutionResult = field(repr=False)
+    payments: dict[int, float]
+    flagged_users: frozenset[int]
+    tasks_completed: int
+    archive: dict[str, Any] = field(repr=False)
+
+
+class Campaign:
+    """One platform running sensing campaigns end to end.
+
+    Args:
+        true_instance: Ground-truth types (execution and cost measurement
+            draw from these).
+        declared_instance: What users declared; defaults to the truth.
+        budget: Total reward budget across rounds.
+        alpha: Reward scaling factor for the EC contracts.
+        verifier: Cost-audit policy (defaults to a 10%-tolerance verifier).
+        seed: Execution RNG seed.
+    """
+
+    def __init__(
+        self,
+        true_instance: AuctionInstance,
+        declared_instance: AuctionInstance | None = None,
+        budget: float = 1_000.0,
+        alpha: float = 10.0,
+        verifier: CostVerifier | None = None,
+        seed: int = 0,
+    ):
+        if budget <= 0:
+            raise ValidationError(f"budget must be positive, got {budget!r}")
+        self.truth = true_instance
+        self.declared = declared_instance or true_instance
+        truth_ids = {u.user_id for u in true_instance.users}
+        declared_ids = {u.user_id for u in self.declared.users}
+        if truth_ids != declared_ids:
+            raise ValidationError("declared and true instances must cover the same users")
+        self.alpha = alpha
+        self.verifier = verifier or CostVerifier()
+        self.ledger = SettlementLedger(budget=budget)
+        self._simulator = ExecutionSimulator(seed=seed)
+        self.history: list[CampaignRecord] = []
+
+    # ------------------------------------------------------------------ #
+
+    def _clear(self) -> SingleTaskOutcome | MultiTaskOutcome:
+        auction = CrowdsensingAuction(self.declared.tasks, alpha=self.alpha)
+        for user in self.declared.users:
+            auction.submit_bid(user)
+        return auction.clear()
+
+    def _execute(
+        self, outcome: SingleTaskOutcome | MultiTaskOutcome
+    ) -> ExecutionResult:
+        if isinstance(outcome, SingleTaskOutcome):
+            task_id = self.truth.tasks[0].task_id
+            view = single_task_view(self.truth, task_id)
+            return self._simulator.simulate_single(view, outcome, task_id=task_id)
+        return self._simulator.simulate_multi(self.truth, outcome)
+
+    def run_round(self) -> CampaignRecord:
+        """Clear → execute → audit → settle → archive one round.
+
+        Raises :class:`ValidationError` when the remaining budget cannot
+        cover the round's worst-case settlement — a platform must never
+        enter contracts it cannot honour.
+        """
+        outcome = self._clear()
+        worst_case = sum(c.success_reward for c in outcome.rewards.values())
+        if worst_case > self.ledger.remaining + 1e-9:
+            raise ValidationError(
+                f"worst-case settlement {worst_case:.6g} exceeds remaining "
+                f"budget {self.ledger.remaining:.6g}"
+            )
+
+        execution = self._execute(outcome)
+
+        # Audit: measured cost is the user's true cost (the platform's
+        # §III-A monitoring); declared is what she bid.
+        reports = []
+        for uid in outcome.winners:
+            reports.append(
+                CostReport(
+                    uid,
+                    declared_cost=self.declared.user_by_id(uid).cost,
+                    measured_cost=self.truth.user_by_id(uid).cost,
+                )
+            )
+        audits = self.verifier.audit_all(reports, execution.rewards_paid)
+        payments = {uid: audit.adjusted_reward for uid, audit in audits.items()}
+        flagged = frozenset(uid for uid, audit in audits.items() if not audit.honest)
+
+        self.ledger.record(payments)
+        record = CampaignRecord(
+            outcome=outcome,
+            execution=execution,
+            payments=payments,
+            flagged_users=flagged,
+            tasks_completed=sum(
+                1 for done in execution.task_completed.values() if done
+            ),
+            archive=outcome_to_dict(outcome),
+        )
+        self.history.append(record)
+        return record
+
+    def run(self, n_rounds: int) -> list[CampaignRecord]:
+        """Run rounds until done or the budget guard stops the campaign."""
+        if n_rounds <= 0:
+            raise ValidationError(f"n_rounds must be positive, got {n_rounds!r}")
+        for _ in range(n_rounds):
+            try:
+                self.run_round()
+            except ValidationError:
+                break  # budget exhausted: stop cleanly with history intact
+        return self.history

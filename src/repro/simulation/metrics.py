@@ -1,0 +1,138 @@
+"""Evaluation metrics over auction outcomes and executions (paper, §IV).
+
+The figures' raw series come from the experiment drivers; this module holds
+the reusable metric computations behind them, so downstream users can score
+their own campaigns the same way the benchmarks do:
+
+* :func:`social_cost` — the platform's optimisation objective;
+* :func:`achieved_task_pos` — per-task analytic completion probability of a
+  winner set under a (true) type profile (Figure 7's y-axis);
+* :func:`expected_utilities_single` / :func:`expected_utilities_multi` —
+  winners' expected utilities (Figure 6's sample);
+* :func:`expected_platform_spend` — what the EC contracts cost the platform
+  in expectation, and :func:`platform_spend_summary` over realised runs;
+* :func:`completion_rate` — fraction of tasks completed in an execution.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.multi_task import MultiTaskOutcome
+from ..core.rewards import expected_utility_multi, expected_utility_single
+from ..core.single_task import SingleTaskOutcome
+from ..core.transforms import achieved_pos, contribution_to_pos
+from ..core.types import AuctionInstance, SingleTaskInstance
+from .engine import ExecutionResult
+
+__all__ = [
+    "social_cost",
+    "achieved_task_pos",
+    "expected_utilities_single",
+    "expected_utilities_multi",
+    "expected_platform_spend",
+    "SpendSummary",
+    "platform_spend_summary",
+    "completion_rate",
+]
+
+
+def social_cost(instance: AuctionInstance, winners: Iterable[int]) -> float:
+    """Total (true) cost of a winner set — the platform's objective."""
+    return sum(instance.user_by_id(uid).cost for uid in winners)
+
+
+def achieved_task_pos(
+    instance: AuctionInstance, winners: frozenset[int]
+) -> dict[int, float]:
+    """Per-task ``1 − Π(1 − p_i^j)`` over the winner set (true profile)."""
+    result: dict[int, float] = {}
+    for task in instance.tasks:
+        contributions = [
+            u.contribution(task.task_id)
+            for u in instance.users
+            if u.user_id in winners and task.task_id in u.task_set
+        ]
+        result[task.task_id] = achieved_pos(contributions)
+    return result
+
+
+def expected_utilities_single(
+    instance: SingleTaskInstance, outcome: SingleTaskOutcome, alpha: float
+) -> dict[int, float]:
+    """Winners' expected utilities ``(p − p̄)·α`` under their true PoS."""
+    utilities: dict[int, float] = {}
+    for uid, contract in outcome.rewards.items():
+        true_pos = contribution_to_pos(
+            instance.contributions[instance.index_of(uid)]
+        )
+        utilities[uid] = expected_utility_single(true_pos, contract.critical_pos, alpha)
+    return utilities
+
+
+def expected_utilities_multi(
+    instance: AuctionInstance, outcome: MultiTaskOutcome, alpha: float
+) -> dict[int, float]:
+    """Winners' expected utilities per Equation (6), under their true types."""
+    utilities: dict[int, float] = {}
+    for uid, contract in outcome.rewards.items():
+        utilities[uid] = expected_utility_multi(
+            instance.user_by_id(uid).total_contribution(),
+            contract.critical_contribution,
+            alpha,
+        )
+    return utilities
+
+
+def expected_platform_spend(
+    outcome: SingleTaskOutcome | MultiTaskOutcome,
+    success_probabilities: dict[int, float],
+) -> float:
+    """Expected total reward paid, given each winner's success probability.
+
+    For a winner with success probability ``p`` the EC contract pays
+    ``p·r¹ + (1−p)·r²``.  ``success_probabilities`` maps each winner to her
+    probability of *contract success* (single task: completing the task;
+    multi-task: completing any bundle task).
+    """
+    total = 0.0
+    for uid, contract in outcome.rewards.items():
+        p = success_probabilities[uid]
+        total += p * contract.success_reward + (1.0 - p) * contract.failure_reward
+    return total
+
+
+@dataclass(frozen=True, slots=True)
+class SpendSummary:
+    """Realised platform spend over repeated executions."""
+
+    n_runs: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+
+def platform_spend_summary(results: Sequence[ExecutionResult]) -> SpendSummary:
+    """Summarise realised spend over executions of the same outcome."""
+    if not results:
+        raise ValueError("need at least one execution result")
+    spends = np.array([r.platform_spend for r in results])
+    return SpendSummary(
+        n_runs=len(spends),
+        mean=float(spends.mean()),
+        std=float(spends.std(ddof=0)),
+        minimum=float(spends.min()),
+        maximum=float(spends.max()),
+    )
+
+
+def completion_rate(result: ExecutionResult) -> float:
+    """Fraction of tasks completed in one realised execution."""
+    if not result.task_completed:
+        raise ValueError("execution result covers no tasks")
+    done = sum(1 for completed in result.task_completed.values() if completed)
+    return done / len(result.task_completed)

@@ -1,0 +1,249 @@
+"""Strategic-behaviour studies (paper, §III-A and §IV).
+
+Two tools:
+
+* :func:`vcg_counterexample` — the paper's 4-user example showing VCG is
+  *not* strategy-proof in the PoS dimension: user 3 (cost 1, true PoS 0.5)
+  loses under truthful reporting but wins — with strictly positive utility —
+  by inflating her declared PoS to 0.9.
+* :func:`deviation_sweep_single` / :func:`deviation_sweep_multi` — expected
+  utility of one user as a function of her *declared* PoS, holding her true
+  type fixed.  Under the paper's mechanisms the curve is maximised at the
+  truth (flat at ``(p − p̄)α`` over the winning region, 0 or negative
+  elsewhere); ``examples/strategic_user_study.py`` prints both curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.baselines import vcg_single_task
+from ..core.cost_verification import CostReport, CostVerifier
+from ..core.errors import InfeasibleInstanceError
+from ..core.multi_task import MultiTaskMechanism
+from ..core.rewards import expected_utility_multi, expected_utility_single
+from ..core.single_task import SingleTaskMechanism
+from ..core.transforms import contribution_to_pos, pos_to_contribution
+from ..core.types import AuctionInstance, SingleTaskInstance
+
+__all__ = [
+    "VcgCounterexample",
+    "vcg_counterexample",
+    "paper_example_instance",
+    "DeviationPoint",
+    "deviation_sweep_single",
+    "deviation_sweep_multi",
+    "CostDeviationPoint",
+    "cost_deviation_sweep_single",
+]
+
+#: The paper's example types: (cost, PoS) per user, requirement T = 0.9.
+PAPER_EXAMPLE_TYPES = ((3.0, 0.7), (2.0, 0.7), (1.0, 0.5), (4.0, 0.8))
+PAPER_EXAMPLE_REQUIREMENT = 0.9
+
+
+def paper_example_instance() -> SingleTaskInstance:
+    """The §III-A example as a single-task instance (users 1..4)."""
+    costs, pos = zip(*PAPER_EXAMPLE_TYPES)
+    return SingleTaskInstance(
+        requirement=pos_to_contribution(PAPER_EXAMPLE_REQUIREMENT),
+        user_ids=tuple(range(1, 5)),
+        costs=tuple(costs),
+        contributions=tuple(pos_to_contribution(p) for p in pos),
+    )
+
+
+@dataclass(frozen=True)
+class VcgCounterexample:
+    """The reproduced §III-A failure of VCG.
+
+    Attributes:
+        truthful_winners: VCG winners when everyone reports truthfully.
+        truthful_utility_user3: User 3's utility under truth (she loses: 0).
+        lying_declared_pos: The PoS user 3 misreports (0.9).
+        lying_winners: VCG winners under the misreport.
+        lying_utility_user3: User 3's utility from lying — her VCG payment
+            minus her cost, strictly positive, proving untruthfulness.
+    """
+
+    truthful_winners: frozenset[int]
+    truthful_utility_user3: float
+    lying_declared_pos: float
+    lying_winners: frozenset[int]
+    lying_utility_user3: float
+
+    @property
+    def vcg_is_truthful(self) -> bool:
+        return self.lying_utility_user3 <= self.truthful_utility_user3 + 1e-9
+
+
+def vcg_counterexample(lying_pos: float = 0.9) -> VcgCounterexample:
+    """Reproduce the paper's example: user 3 profits from inflating her PoS.
+
+    Note the misreport changes only the *allocation*; after winning, user 3
+    is paid her VCG payment regardless of execution, so her expected utility
+    is simply payment − cost.
+    """
+    truthful = paper_example_instance()
+    truthful_outcome = vcg_single_task(truthful)
+    u3_truthful = (
+        truthful_outcome.payments.get(3, 0.0) - 1.0 if 3 in truthful_outcome.selected else 0.0
+    )
+
+    lying = truthful.with_contribution(3, pos_to_contribution(lying_pos))
+    lying_outcome = vcg_single_task(lying)
+    u3_lying = (
+        lying_outcome.payments.get(3, 0.0) - 1.0 if 3 in lying_outcome.selected else 0.0
+    )
+    return VcgCounterexample(
+        truthful_winners=truthful_outcome.selected,
+        truthful_utility_user3=u3_truthful,
+        lying_declared_pos=lying_pos,
+        lying_winners=lying_outcome.selected,
+        lying_utility_user3=u3_lying,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class DeviationPoint:
+    """One point of a deviation sweep."""
+
+    declared_pos: float
+    wins: bool
+    expected_utility: float
+
+
+def deviation_sweep_single(
+    instance: SingleTaskInstance,
+    user_id: int,
+    mechanism: SingleTaskMechanism,
+    declared_pos_grid: Sequence[float],
+) -> list[DeviationPoint]:
+    """Expected utility of ``user_id`` across declared PoS values.
+
+    The user's *true* PoS is the one in ``instance``; utilities are computed
+    against it, so the curve shows what each misreport would really earn.
+    """
+    true_pos = contribution_to_pos(
+        instance.contributions[instance.index_of(user_id)]
+    )
+    points = []
+    for declared in declared_pos_grid:
+        deviated = instance.with_contribution(user_id, pos_to_contribution(declared))
+        try:
+            outcome = mechanism.run(deviated)
+        except InfeasibleInstanceError:
+            points.append(DeviationPoint(declared, False, 0.0))
+            continue
+        if user_id in outcome.winners:
+            utility = expected_utility_single(
+                true_pos, outcome.rewards[user_id].critical_pos, mechanism.alpha
+            )
+            points.append(DeviationPoint(declared, True, utility))
+        else:
+            points.append(DeviationPoint(declared, False, 0.0))
+    return points
+
+
+def deviation_sweep_multi(
+    instance: AuctionInstance,
+    user_id: int,
+    mechanism: MultiTaskMechanism,
+    scale_grid: Sequence[float],
+) -> list[DeviationPoint]:
+    """Expected utility of ``user_id`` across scalings of her declared profile.
+
+    Deviations scale her *contribution* profile (shape-preserving,
+    ``p' = 1 − (1−p)^λ``) — the single-minded magnitude-misreport model.
+    ``declared_pos`` in the returned points is the scale factor applied to
+    the true profile (1.0 = truthful).
+    """
+    user = instance.user_by_id(user_id)
+    true_total = user.total_contribution()
+    points = []
+    for factor in scale_grid:
+        deviated = instance.with_replaced_user(user.with_scaled_contributions(factor))
+        try:
+            outcome = mechanism.run(deviated)
+        except InfeasibleInstanceError:
+            points.append(DeviationPoint(factor, False, 0.0))
+            continue
+        if user_id in outcome.winners:
+            utility = expected_utility_multi(
+                true_total,
+                outcome.rewards[user_id].critical_contribution,
+                mechanism.alpha,
+            )
+            points.append(DeviationPoint(factor, True, utility))
+        else:
+            points.append(DeviationPoint(factor, False, 0.0))
+    return points
+
+
+@dataclass(frozen=True, slots=True)
+class CostDeviationPoint:
+    """One point of a cost-misreport sweep (paper, §III-A / §VI)."""
+
+    cost_factor: float
+    wins: bool
+    expected_utility_unaudited: float
+    expected_utility_audited: float
+
+
+def cost_deviation_sweep_single(
+    instance: SingleTaskInstance,
+    user_id: int,
+    mechanism: SingleTaskMechanism,
+    cost_factors: Sequence[float],
+    verifier: CostVerifier | None = None,
+) -> list[CostDeviationPoint]:
+    """Expected utility of a user misreporting her COST, with/without audits.
+
+    The paper makes truthfulness tractable by *assuming costs verifiable*
+    (§III-A) and defers joint cost-and-PoS strategy-proofness to future
+    work.  This sweep shows why the assumption is load-bearing: the EC
+    reward contains an additive ``+c_declared`` term, so a winner who
+    inflates her declared cost and still wins pockets the difference —
+    unless the :class:`~repro.core.cost_verification.CostVerifier` audits
+    her measured cost and claws the reward back.
+
+    Both expected utilities are computed against the user's *true* cost and
+    true PoS.  ``expected_utility_audited`` applies the verifier's policy
+    (the truthful measured cost is assumed observable post-execution).
+    """
+    audit = verifier or CostVerifier()
+    idx = instance.index_of(user_id)
+    true_cost = instance.costs[idx]
+    true_pos = contribution_to_pos(instance.contributions[idx])
+
+    points: list[CostDeviationPoint] = []
+    for factor in cost_factors:
+        declared_cost = true_cost * factor
+        costs = list(instance.costs)
+        costs[idx] = declared_cost
+        deviated = SingleTaskInstance(
+            instance.requirement, instance.user_ids, tuple(costs), instance.contributions
+        )
+        try:
+            outcome = mechanism.run(deviated)
+        except InfeasibleInstanceError:
+            points.append(CostDeviationPoint(factor, False, 0.0, 0.0))
+            continue
+        if user_id not in outcome.winners:
+            points.append(CostDeviationPoint(factor, False, 0.0, 0.0))
+            continue
+        contract = outcome.rewards[user_id]
+        # Expected reward = (p - p_bar) * alpha + c_declared.
+        expected_reward = (
+            true_pos * contract.success_reward
+            + (1.0 - true_pos) * contract.failure_reward
+        )
+        unaudited = expected_reward - true_cost
+        verdict = audit.audit(
+            CostReport(user_id, declared_cost=declared_cost, measured_cost=true_cost),
+            reward=expected_reward,
+        )
+        audited = verdict.adjusted_reward - true_cost
+        points.append(CostDeviationPoint(factor, True, unaudited, audited))
+    return points

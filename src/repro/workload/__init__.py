@@ -1,0 +1,28 @@
+"""Workload generation: Tables II/III parameters and instance builders."""
+
+from .config import (
+    TABLE3_SETTING_1,
+    TABLE3_SETTING_2,
+    SimulationConfig,
+    table2_defaults,
+)
+from .generator import (
+    GeneratedMultiTask,
+    GeneratedSingleTask,
+    RepairReport,
+    WorkloadGenerator,
+)
+from .sampling import sample_costs, sample_task_set_size
+
+__all__ = [
+    "SimulationConfig",
+    "table2_defaults",
+    "TABLE3_SETTING_1",
+    "TABLE3_SETTING_2",
+    "WorkloadGenerator",
+    "GeneratedSingleTask",
+    "GeneratedMultiTask",
+    "RepairReport",
+    "sample_costs",
+    "sample_task_set_size",
+]

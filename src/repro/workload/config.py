@@ -1,0 +1,115 @@
+"""Simulation configuration (paper, Tables II and III).
+
+:class:`SimulationConfig` carries the paper's default parameters:
+
+====================================  =========
+PoS requirement ``T``                 0.8
+Reward scaling factor ``α``           10
+Tasks per user                        U[10, 20]
+Mean of costs                         15
+Variance of costs                     5
+====================================  =========
+
+plus the two multi-task sweeps of Table III (users ∈ [10, 100] at 15 tasks;
+30 users at tasks ∈ [10, 50]).  Experiment drivers start from
+:func:`table2_defaults` and override what their sweep varies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..core.errors import ValidationError
+
+__all__ = ["SimulationConfig", "table2_defaults", "TABLE3_SETTING_1", "TABLE3_SETTING_2"]
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationConfig:
+    """Workload-generation parameters.
+
+    Attributes:
+        pos_requirement: Per-task PoS requirement ``T`` (Table II: 0.8).
+        alpha: Reward scaling factor ``α`` (Table II: 10).
+        tasks_per_user: Inclusive range for a user's task-set size
+            (Table II: [10, 20]).
+        cost_mean: Mean of the normal cost distribution (Table II: 15).
+        cost_variance: Variance of the cost distribution (Table II: 5).
+        min_cost: Truncation floor for sampled costs (costs must be
+            positive; the normal tail is clipped here).
+        pos_horizon: Number of future time slots a user's PoS covers: her
+            PoS for a task is the probability she *reaches* the task's cell
+            within this many Markov steps.  ``1`` is the paper's literal
+            next-slot reading, under which several of its own experimental
+            settings (e.g. 10 users, 15 tasks, T = 0.8) are mathematically
+            infeasible — a user's one-step probabilities sum to at most 1
+            across her whole bundle.  The default of 5 models a sensing
+            campaign spanning a short window, calibrated so the Table III
+            sweeps are naturally feasible at all but the thinnest market
+            sizes (see DESIGN.md).
+        feasibility_margin: The generator repairs a task whose aggregate
+            contribution is below ``margin × Q_j`` (1.0 disables headroom).
+        repair: Feasibility-repair strategy: ``"boost"`` scales
+            contributions up, ``"drop"`` removes uncoverable tasks,
+            ``"none"`` leaves the instance as generated.
+    """
+
+    pos_requirement: float = 0.8
+    alpha: float = 10.0
+    tasks_per_user: tuple[int, int] = (10, 20)
+    cost_mean: float = 15.0
+    cost_variance: float = 5.0
+    min_cost: float = 0.5
+    pos_horizon: int = 5
+    feasibility_margin: float = 1.05
+    repair: str = "boost"
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.pos_requirement < 1.0):
+            raise ValidationError(
+                f"pos_requirement must be in (0, 1), got {self.pos_requirement!r}"
+            )
+        if self.alpha <= 0:
+            raise ValidationError(f"alpha must be positive, got {self.alpha!r}")
+        low, high = self.tasks_per_user
+        if not (1 <= low <= high):
+            raise ValidationError(f"tasks_per_user must satisfy 1 <= low <= high: {self.tasks_per_user!r}")
+        if self.cost_mean <= 0 or self.cost_variance < 0:
+            raise ValidationError("cost_mean must be > 0 and cost_variance >= 0")
+        if self.min_cost <= 0:
+            raise ValidationError(f"min_cost must be positive, got {self.min_cost!r}")
+        if self.pos_horizon < 1:
+            raise ValidationError(f"pos_horizon must be >= 1, got {self.pos_horizon!r}")
+        if self.feasibility_margin < 1.0:
+            raise ValidationError("feasibility_margin must be >= 1.0")
+        if self.repair not in ("boost", "drop", "none"):
+            raise ValidationError(f"unknown repair strategy {self.repair!r}")
+
+    @property
+    def cost_std(self) -> float:
+        return math.sqrt(self.cost_variance)
+
+    def with_requirement(self, pos_requirement: float) -> "SimulationConfig":
+        """A copy with a different PoS requirement (Figures 8–9 sweeps)."""
+        return replace(self, pos_requirement=pos_requirement)
+
+
+def table2_defaults() -> SimulationConfig:
+    """The paper's Table II default parameters."""
+    return SimulationConfig()
+
+
+#: Table III, setting 1: n ∈ [10, 100] users, 15 tasks, cost mean 15, T = 0.8.
+TABLE3_SETTING_1 = {
+    "n_users_range": (10, 100),
+    "n_tasks": 15,
+    "config": table2_defaults(),
+}
+
+#: Table III, setting 2: 30 users, tasks ∈ [10, 50], cost mean 15, T = 0.8.
+TABLE3_SETTING_2 = {
+    "n_users": 30,
+    "n_tasks_range": (10, 50),
+    "config": table2_defaults(),
+}

@@ -1,0 +1,93 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bootstrap import bootstrap_ci, paired_difference_ci
+from repro.core.errors import ValidationError
+
+
+class TestBootstrapCi:
+    def test_estimate_is_statistic_of_sample(self):
+        ci = bootstrap_ci([1.0, 2.0, 3.0, 4.0])
+        assert ci.estimate == pytest.approx(2.5)
+
+    def test_interval_brackets_estimate(self):
+        rng = np.random.default_rng(0)
+        sample = list(rng.normal(10, 2, size=50))
+        ci = bootstrap_ci(sample, seed=1)
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_deterministic_given_seed(self):
+        sample = [1.0, 5.0, 3.0, 2.0, 4.0]
+        a = bootstrap_ci(sample, seed=7)
+        b = bootstrap_ci(sample, seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_coverage_on_normal_mean(self):
+        """~95% of CIs over repeated samples should contain the true mean."""
+        rng = np.random.default_rng(2)
+        hits = 0
+        trials = 100
+        for trial in range(trials):
+            sample = rng.normal(5.0, 1.0, size=30)
+            ci = bootstrap_ci(list(sample), n_boot=400, seed=trial)
+            hits += ci.contains(5.0)
+        assert hits >= 85  # generous lower bound for 95% nominal coverage
+
+    def test_width_shrinks_with_sample_size(self):
+        rng = np.random.default_rng(3)
+        small = bootstrap_ci(list(rng.normal(0, 1, size=10)), seed=1)
+        large = bootstrap_ci(list(rng.normal(0, 1, size=1000)), seed=1)
+        assert large.width < small.width
+
+    def test_custom_statistic(self):
+        ci = bootstrap_ci([1.0, 2.0, 100.0], statistic=np.median, seed=1)
+        assert ci.estimate == pytest.approx(2.0)
+
+    def test_higher_confidence_wider(self):
+        sample = list(np.random.default_rng(4).normal(0, 1, size=40))
+        narrow = bootstrap_ci(sample, confidence=0.8, seed=1)
+        wide = bootstrap_ci(sample, confidence=0.99, seed=1)
+        assert wide.width >= narrow.width
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            bootstrap_ci([1.0])
+        with pytest.raises(ValidationError):
+            bootstrap_ci([1.0, 2.0], confidence=1.0)
+        with pytest.raises(ValidationError):
+            bootstrap_ci([1.0, 2.0], n_boot=10)
+
+
+class TestPairedDifference:
+    def test_detects_consistent_improvement(self):
+        rng = np.random.default_rng(5)
+        base = rng.uniform(50, 100, size=40)
+        better = base - rng.uniform(1.0, 3.0, size=40)  # always cheaper
+        ci = paired_difference_ci(list(better), list(base), seed=1)
+        assert ci.high < 0  # significantly cheaper
+
+    def test_no_difference_brackets_zero(self):
+        rng = np.random.default_rng(6)
+        a = rng.normal(10, 1, size=60)
+        b = a + rng.normal(0, 0.5, size=60)  # pure noise difference
+        ci = paired_difference_ci(list(a), list(b), seed=1)
+        assert ci.contains(0.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            paired_difference_ci([1.0, 2.0], [1.0])
+
+    def test_on_real_algorithm_comparison(self, testbed):
+        """FPTAS vs Min-Greedy on shared instances: CI entirely <= 0."""
+        from repro.core.baselines import min_greedy_single_task
+        from repro.core.fptas import fptas_min_knapsack
+
+        fptas_costs, greedy_costs = [], []
+        for rep in range(12):
+            instance = testbed.generator.single_task_instance(30, seed=500 + rep).instance
+            fptas_costs.append(fptas_min_knapsack(instance, 0.5).total_cost)
+            greedy_costs.append(min_greedy_single_task(instance).total_cost)
+        ci = paired_difference_ci(fptas_costs, greedy_costs, seed=1)
+        assert ci.high <= 1e-9  # FPTAS never worse, usually strictly better

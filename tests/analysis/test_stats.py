@@ -1,0 +1,76 @@
+"""Tests for the analysis statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import empirical_cdf, histogram_pdf, summarize
+from repro.core.errors import ValidationError
+
+
+class TestEmpiricalCdf:
+    def test_sorted_output(self):
+        xs, F = empirical_cdf([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(xs, [1.0, 2.0, 3.0])
+
+    def test_cdf_levels(self):
+        _, F = empirical_cdf([5.0, 1.0])
+        np.testing.assert_allclose(F, [0.5, 1.0])
+
+    def test_reaches_one(self):
+        _, F = empirical_cdf(list(np.random.default_rng(0).normal(size=100)))
+        assert F[-1] == pytest.approx(1.0)
+
+    def test_monotone(self):
+        _, F = empirical_cdf(list(np.random.default_rng(1).normal(size=50)))
+        assert (np.diff(F) > 0).all()
+
+    def test_duplicates_allowed(self):
+        xs, F = empirical_cdf([2.0, 2.0, 2.0])
+        assert F[-1] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            empirical_cdf([])
+
+
+class TestHistogramPdf:
+    def test_density_integrates_to_one(self):
+        values = list(np.random.default_rng(0).uniform(0, 1, size=500))
+        centers, density = histogram_pdf(values, bins=10, value_range=(0, 1))
+        width = 0.1
+        assert sum(d * width for d in density) == pytest.approx(1.0)
+
+    def test_bin_centers(self):
+        centers, _ = histogram_pdf([0.5], bins=2, value_range=(0.0, 1.0))
+        np.testing.assert_allclose(centers, [0.25, 0.75])
+
+    def test_mass_in_right_bin(self):
+        centers, density = histogram_pdf(
+            [0.1, 0.1, 0.1], bins=2, value_range=(0.0, 1.0)
+        )
+        assert density[0] > density[1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            histogram_pdf([])
+
+
+class TestSummarize:
+    def test_values(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.median == pytest.approx(2.5)
+
+    def test_std_population(self):
+        s = summarize([1.0, 3.0])
+        assert s.std == pytest.approx(1.0)
+
+    def test_single_value(self):
+        s = summarize([7.0])
+        assert s.std == 0.0 and s.median == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            summarize([])

@@ -1,0 +1,46 @@
+"""Tests for ASCII table rendering."""
+
+from repro.analysis.tables import format_cell, format_table
+
+
+class TestFormatCell:
+    def test_float_precision(self):
+        assert format_cell(1.2345, precision=2) == "1.23"
+        assert format_cell(1.2345, precision=4) == "1.2345"
+
+    def test_int_passthrough(self):
+        assert format_cell(42) == "42"
+
+    def test_bool_rendering(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_header_and_rows(self):
+        table = format_table(["a", "b"], [[1, 2.5]])
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.50" in lines[2]
+
+    def test_alignment(self):
+        table = format_table(["x"], [["short"], ["a-much-longer-cell"]])
+        lines = table.splitlines()
+        assert len(lines[1]) >= len("a-much-longer-cell")
+
+    def test_title(self):
+        table = format_table(["x"], [[1]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        table = format_table(["x", "y"], [])
+        assert "x" in table and "-" in table
+
+    def test_column_count_consistency(self):
+        table = format_table(["a", "b", "c"], [[1, 2, 3], [4, 5, 6]])
+        for line in table.splitlines():
+            if "|" in line:
+                assert line.count("|") == 2

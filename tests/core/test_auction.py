@@ -1,0 +1,100 @@
+"""Tests for the CrowdsensingAuction façade (Figure 1 orchestration)."""
+
+import pytest
+
+from repro.core.auction import CrowdsensingAuction
+from repro.core.errors import ValidationError
+from repro.core.multi_task import MultiTaskOutcome
+from repro.core.single_task import SingleTaskOutcome
+from repro.core.types import Task, UserType
+
+
+def single_task_auction():
+    auction = CrowdsensingAuction([Task(0, requirement=0.9)], epsilon=0.1)
+    auction.submit_bid(UserType(1, cost=3.0, pos={0: 0.7}))
+    auction.submit_bid(UserType(2, cost=2.0, pos={0: 0.7}))
+    auction.submit_bid(UserType(3, cost=1.0, pos={0: 0.5}))
+    auction.submit_bid(UserType(4, cost=4.0, pos={0: 0.8}))
+    return auction
+
+
+def multi_task_auction():
+    auction = CrowdsensingAuction([Task(0, 0.8), Task(1, 0.7)])
+    auction.submit_bid(UserType(1, cost=2.0, pos={0: 0.5, 1: 0.4}))
+    auction.submit_bid(UserType(2, cost=1.5, pos={0: 0.6}))
+    auction.submit_bid(UserType(3, cost=1.0, pos={1: 0.5}))
+    auction.submit_bid(UserType(4, cost=3.0, pos={0: 0.7, 1: 0.7}))
+    return auction
+
+
+class TestSetup:
+    def test_no_tasks_rejected(self):
+        with pytest.raises(ValidationError):
+            CrowdsensingAuction([])
+
+    def test_duplicate_tasks_rejected(self):
+        with pytest.raises(ValidationError):
+            CrowdsensingAuction([Task(0, 0.5), Task(0, 0.6)])
+
+    def test_published_task_ids(self):
+        auction = CrowdsensingAuction([Task(3, 0.5), Task(8, 0.6)])
+        assert auction.published_task_ids == frozenset({3, 8})
+
+
+class TestBidding:
+    def test_bid_on_unpublished_task_rejected(self):
+        auction = CrowdsensingAuction([Task(0, 0.5)])
+        with pytest.raises(ValidationError):
+            auction.submit_bid(UserType(1, cost=1.0, pos={1: 0.5}))
+
+    def test_rebid_replaces(self):
+        auction = CrowdsensingAuction([Task(0, 0.5)])
+        auction.submit_bid(UserType(1, cost=1.0, pos={0: 0.5}))
+        auction.submit_bid(UserType(1, cost=2.0, pos={0: 0.6}))
+        assert auction.n_bids == 1
+        assert auction.instance().user_by_id(1).cost == 2.0
+
+    def test_bid_after_clear_rejected(self):
+        auction = single_task_auction()
+        auction.clear()
+        with pytest.raises(ValidationError):
+            auction.submit_bid(UserType(9, cost=1.0, pos={0: 0.5}))
+
+
+class TestClearing:
+    def test_single_task_dispatch(self):
+        outcome = single_task_auction().clear()
+        assert isinstance(outcome, SingleTaskOutcome)
+        assert outcome.winners
+
+    def test_multi_task_dispatch(self):
+        outcome = multi_task_auction().clear()
+        assert isinstance(outcome, MultiTaskOutcome)
+        assert outcome.winners
+
+    def test_clear_without_bids_rejected(self):
+        auction = CrowdsensingAuction([Task(0, 0.5)])
+        with pytest.raises(ValidationError):
+            auction.clear()
+
+    def test_double_clear_rejected(self):
+        auction = single_task_auction()
+        auction.clear()
+        with pytest.raises(ValidationError):
+            auction.clear()
+
+    def test_clear_without_rewards(self):
+        outcome = single_task_auction().clear(compute_rewards=False)
+        assert outcome.rewards == {}
+
+    def test_alpha_propagates_to_contracts(self):
+        auction = CrowdsensingAuction([Task(0, 0.6)], alpha=5.0)
+        auction.submit_bid(UserType(1, cost=1.0, pos={0: 0.7}))
+        outcome = auction.clear()
+        assert all(c.alpha == 5.0 for c in outcome.rewards.values())
+
+    def test_single_task_outcome_matches_paper_example(self):
+        """Cheapest pair {1, 2} jointly reach 0.91 >= 0.9 at cost 5."""
+        outcome = single_task_auction().clear()
+        assert outcome.social_cost <= 5.0 * 1.1 + 1e-9
+        assert outcome.achieved_pos >= 0.9 - 1e-9

@@ -1,0 +1,185 @@
+"""Tests for the baseline algorithms (OPT, Min-Greedy, ST-VCG, MT-VCG)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    EXHAUSTIVE_LIMIT,
+    exhaustive_multi_task,
+    exhaustive_single_task,
+    min_greedy_single_task,
+    mt_vcg,
+    optimal_multi_task,
+    optimal_single_task,
+    st_vcg,
+    vcg_single_task,
+)
+from repro.core.errors import InfeasibleInstanceError, SolverLimitError
+from repro.core.types import AuctionInstance, SingleTaskInstance, Task, UserType
+
+from ..conftest import make_random_multi_task, make_random_single_task
+
+
+class TestOptimalSingleTask:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_milp_matches_exhaustive(self, seed):
+        rng = np.random.default_rng(seed)
+        instance = make_random_single_task(rng, n_users=int(rng.integers(3, 10)))
+        milp = optimal_single_task(instance)
+        brute = exhaustive_single_task(instance)
+        assert milp.total_cost == pytest.approx(brute.total_cost, abs=1e-6)
+
+    def test_selection_is_feasible(self, small_single_task):
+        result = optimal_single_task(small_single_task)
+        assert small_single_task.contribution_of(result.selected) >= (
+            small_single_task.requirement - 1e-9
+        )
+
+    def test_zero_requirement(self):
+        instance = SingleTaskInstance(0.0, (1,), (1.0,), (0.5,))
+        assert optimal_single_task(instance).selected == frozenset()
+
+    def test_infeasible_raises(self):
+        instance = SingleTaskInstance(5.0, (1,), (1.0,), (0.5,))
+        with pytest.raises(InfeasibleInstanceError):
+            optimal_single_task(instance)
+        with pytest.raises(InfeasibleInstanceError):
+            exhaustive_single_task(instance)
+
+    def test_exhaustive_size_limit(self):
+        n = EXHAUSTIVE_LIMIT + 1
+        instance = SingleTaskInstance(
+            0.1, tuple(range(n)), (1.0,) * n, (0.5,) * n
+        )
+        with pytest.raises(SolverLimitError):
+            exhaustive_single_task(instance)
+
+
+class TestOptimalMultiTask:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_milp_matches_exhaustive(self, seed):
+        instance = make_random_multi_task(
+            np.random.default_rng(seed), n_users=7, n_tasks=3
+        )
+        milp = optimal_multi_task(instance)
+        brute = exhaustive_multi_task(instance)
+        assert milp.total_cost == pytest.approx(brute.total_cost, abs=1e-6)
+
+    def test_selection_covers_all_tasks(self, small_multi_task):
+        result = optimal_multi_task(small_multi_task)
+        for task in small_multi_task.tasks:
+            total = sum(
+                small_multi_task.user_by_id(uid).contribution(task.task_id)
+                for uid in result.selected
+            )
+            assert total >= task.contribution_requirement - 1e-6
+
+    def test_infeasible_raises(self):
+        instance = AuctionInstance(
+            [Task(0, 0.99)], [UserType(1, cost=1.0, pos={0: 0.1})]
+        )
+        with pytest.raises(InfeasibleInstanceError):
+            optimal_multi_task(instance)
+
+
+class TestMinGreedy:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_two_approximation(self, seed):
+        rng = np.random.default_rng(seed)
+        instance = make_random_single_task(rng, n_users=int(rng.integers(3, 12)))
+        greedy = min_greedy_single_task(instance)
+        opt = optimal_single_task(instance)
+        assert greedy.total_cost <= 2.0 * opt.total_cost + 1e-6
+
+    def test_feasible(self, small_single_task):
+        result = min_greedy_single_task(small_single_task)
+        assert small_single_task.contribution_of(result.selected) >= (
+            small_single_task.requirement - 1e-9
+        )
+
+    def test_prefers_cheap_single_cover(self):
+        # One expensive high-ratio user vs a cheap user covering alone.
+        instance = SingleTaskInstance(
+            requirement=1.0,
+            user_ids=(1, 2, 3),
+            costs=(10.0, 3.0, 4.0),
+            contributions=(20.0, 0.6, 1.0),
+        )
+        result = min_greedy_single_task(instance)
+        assert result.total_cost <= 4.0 + 1e-9
+
+    def test_infeasible_raises(self):
+        instance = SingleTaskInstance(5.0, (1,), (1.0,), (0.5,))
+        with pytest.raises(InfeasibleInstanceError):
+            min_greedy_single_task(instance)
+
+    def test_zero_requirement(self):
+        instance = SingleTaskInstance(0.0, (1,), (1.0,), (0.5,))
+        assert min_greedy_single_task(instance).selected == frozenset()
+
+
+class TestStVcg:
+    def test_selects_single_cheapest(self, small_single_task):
+        result = st_vcg(small_single_task)
+        assert len(result.selected) == 1
+        assert result.total_cost == pytest.approx(min(small_single_task.costs))
+
+    def test_underprovisions(self, paper_example):
+        """The selected single user cannot reach the 0.9 requirement."""
+        result = st_vcg(paper_example)
+        uid = next(iter(result.selected))
+        q = paper_example.contributions[paper_example.index_of(uid)]
+        assert q < paper_example.requirement
+
+    def test_empty_instance_raises(self):
+        empty = SingleTaskInstance(0.0, (), (), ())
+        with pytest.raises(InfeasibleInstanceError):
+            st_vcg(empty)
+
+
+class TestMtVcg:
+    def test_covers_every_task_once(self, small_multi_task):
+        result = mt_vcg(small_multi_task)
+        covered = set()
+        for uid in result.selected:
+            covered |= small_multi_task.user_by_id(uid).task_set
+        assert covered >= {t.task_id for t in small_multi_task.tasks}
+
+    def test_cheaper_than_our_mechanism_but_underprovisions(self, small_multi_task):
+        from repro.core.multi_task import MultiTaskMechanism
+
+        vcg = mt_vcg(small_multi_task)
+        ours = MultiTaskMechanism().run(small_multi_task, compute_rewards=False)
+        assert vcg.total_cost <= ours.social_cost + 1e-9
+        # And at least one task falls short of its PoS requirement.
+        short = []
+        for task in small_multi_task.tasks:
+            total = sum(
+                small_multi_task.user_by_id(uid).contribution(task.task_id)
+                for uid in vcg.selected
+                if task.task_id in small_multi_task.user_by_id(uid).task_set
+            )
+            short.append(total < task.contribution_requirement - 1e-9)
+        assert any(short)
+
+    def test_uncoverable_task_raises(self):
+        instance = AuctionInstance(
+            [Task(0, 0.5), Task(1, 0.5)], [UserType(1, cost=1.0, pos={0: 0.9})]
+        )
+        with pytest.raises(InfeasibleInstanceError):
+            mt_vcg(instance)
+
+
+class TestVcgWithPayments:
+    def test_payments_cover_costs(self, paper_example):
+        outcome = vcg_single_task(paper_example)
+        for uid, payment in outcome.payments.items():
+            cost = paper_example.costs[paper_example.index_of(uid)]
+            assert payment >= cost - 1e-9  # individual rationality in costs
+
+    def test_pivotal_user_payment(self):
+        """A pivotal user (no alternative cover) is paid her cost."""
+        instance = SingleTaskInstance(1.0, (1, 2), (2.0, 3.0), (1.5, 0.2))
+        outcome = vcg_single_task(instance)
+        assert outcome.selected == frozenset({1})
+        assert outcome.payments[1] == pytest.approx(2.0)

@@ -1,0 +1,85 @@
+"""Tests for the branch-and-bound exact min-knapsack solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.baselines import exhaustive_single_task, optimal_single_task
+from repro.core.branch_and_bound import BnbStats, branch_and_bound_single_task
+from repro.core.errors import InfeasibleInstanceError
+from repro.core.types import SingleTaskInstance
+
+from ..conftest import make_random_single_task, single_task_instances
+
+
+class TestCorrectness:
+    def test_trivial_zero_requirement(self):
+        instance = SingleTaskInstance(0.0, (1,), (2.0,), (0.5,))
+        result = branch_and_bound_single_task(instance)
+        assert result.selected == frozenset()
+        assert result.total_cost == 0.0
+
+    def test_infeasible_raises(self):
+        instance = SingleTaskInstance(5.0, (1, 2), (1.0, 1.0), (0.5, 0.5))
+        with pytest.raises(InfeasibleInstanceError):
+            branch_and_bound_single_task(instance)
+
+    def test_single_user(self):
+        instance = SingleTaskInstance(0.5, (7,), (3.0,), (0.9,))
+        result = branch_and_bound_single_task(instance)
+        assert result.selected == frozenset({7})
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_exhaustive(self, seed):
+        rng = np.random.default_rng(seed)
+        instance = make_random_single_task(rng, n_users=int(rng.integers(3, 12)))
+        bnb = branch_and_bound_single_task(instance)
+        brute = exhaustive_single_task(instance)
+        assert bnb.total_cost == pytest.approx(brute.total_cost, abs=1e-9)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_milp_at_larger_sizes(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        instance = make_random_single_task(rng, n_users=40)
+        bnb = branch_and_bound_single_task(instance)
+        milp = optimal_single_task(instance)
+        assert bnb.total_cost == pytest.approx(milp.total_cost, abs=1e-6)
+
+    def test_selection_is_feasible(self, small_single_task):
+        result = branch_and_bound_single_task(small_single_task)
+        assert small_single_task.contribution_of(result.selected) >= (
+            small_single_task.requirement - 1e-9
+        )
+        assert result.total_cost == pytest.approx(
+            small_single_task.cost_of(result.selected)
+        )
+
+    @given(single_task_instances(max_users=7))
+    @settings(max_examples=40, deadline=None)
+    def test_optimality_property(self, instance):
+        bnb = branch_and_bound_single_task(instance)
+        brute = exhaustive_single_task(instance)
+        assert bnb.total_cost == pytest.approx(brute.total_cost, abs=1e-9)
+
+
+class TestPruning:
+    def test_stats_populated(self, small_single_task):
+        stats = BnbStats()
+        branch_and_bound_single_task(small_single_task, stats=stats)
+        assert stats.nodes_explored > 0
+
+    def test_prunes_aggressively_vs_exhaustive(self):
+        """At n = 30 the full tree has 2^30 nodes; B&B must visit a sliver."""
+        rng = np.random.default_rng(0)
+        instance = make_random_single_task(rng, n_users=30)
+        stats = BnbStats()
+        branch_and_bound_single_task(instance, stats=stats)
+        assert stats.nodes_explored < 200_000
+
+    def test_warm_start_never_worse_than_min_greedy(self, rng):
+        from repro.core.baselines import min_greedy_single_task
+
+        instance = make_random_single_task(rng, n_users=15)
+        bnb = branch_and_bound_single_task(instance)
+        greedy = min_greedy_single_task(instance)
+        assert bnb.total_cost <= greedy.total_cost + 1e-9

@@ -1,0 +1,112 @@
+"""Tests for the platform budget analysis of the reward scaling factor α."""
+
+import pytest
+
+from repro.core.budget import (
+    expected_spend,
+    max_alpha_for_budget,
+    spend_decomposition,
+    worst_case_spend,
+)
+from repro.core.errors import ValidationError
+from repro.core.rewards import ec_reward
+from repro.core.single_task import SingleTaskMechanism
+from repro.core.transforms import contribution_to_pos, pos_to_contribution
+
+
+def make_rewards(alpha=10.0):
+    """Two winners with critical PoS 0.4 and 0.6."""
+    return {
+        1: ec_reward(1, pos_to_contribution(0.4), cost=3.0, alpha=alpha),
+        2: ec_reward(2, pos_to_contribution(0.6), cost=2.0, alpha=alpha),
+    }
+
+
+SUCCESS = {1: 0.7, 2: 0.8}
+
+
+class TestSpendDecomposition:
+    def test_base_is_total_cost(self):
+        decomposition = spend_decomposition(make_rewards(), SUCCESS)
+        assert decomposition.base == pytest.approx(5.0)
+
+    def test_coefficient_is_surplus(self):
+        decomposition = spend_decomposition(make_rewards(), SUCCESS)
+        assert decomposition.alpha_coefficient == pytest.approx((0.7 - 0.4) + (0.8 - 0.6))
+
+    def test_at_matches_expected_spend(self):
+        rewards = make_rewards(alpha=10.0)
+        decomposition = spend_decomposition(rewards, SUCCESS)
+        assert decomposition.at(10.0) == pytest.approx(expected_spend(rewards, SUCCESS))
+
+    def test_missing_probability_rejected(self):
+        with pytest.raises(ValidationError):
+            spend_decomposition(make_rewards(), {1: 0.7})
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValidationError):
+            spend_decomposition(make_rewards(), {1: 0.7, 2: 1.5})
+
+
+class TestExpectedSpend:
+    def test_closed_form(self):
+        # Per winner: (p - p_bar) * alpha + cost.
+        rewards = make_rewards(alpha=10.0)
+        expected = (0.7 - 0.4) * 10 + 3.0 + (0.8 - 0.6) * 10 + 2.0
+        assert expected_spend(rewards, SUCCESS) == pytest.approx(expected)
+
+    def test_empty_rewards(self):
+        assert expected_spend({}, {}) == 0.0
+
+
+class TestMaxAlpha:
+    def test_inverts_decomposition(self):
+        rewards = make_rewards()
+        budget = 9.0
+        alpha_max = max_alpha_for_budget(rewards, SUCCESS, budget)
+        decomposition = spend_decomposition(rewards, SUCCESS)
+        assert decomposition.at(alpha_max) == pytest.approx(budget)
+
+    def test_budget_below_costs_rejected(self):
+        with pytest.raises(ValidationError):
+            max_alpha_for_budget(make_rewards(), SUCCESS, budget=4.0)
+
+    def test_zero_surplus_is_unbounded(self):
+        rewards = {1: ec_reward(1, pos_to_contribution(0.7), cost=3.0, alpha=5.0)}
+        alpha_max = max_alpha_for_budget(rewards, {1: 0.7}, budget=10.0)
+        assert alpha_max == float("inf")
+
+    def test_respects_budget(self):
+        rewards = make_rewards()
+        alpha_max = max_alpha_for_budget(rewards, SUCCESS, budget=8.0)
+        assert spend_decomposition(rewards, SUCCESS).at(alpha_max) <= 8.0 + 1e-9
+
+
+class TestWorstCaseSpend:
+    def test_sums_success_rewards(self):
+        rewards = make_rewards(alpha=10.0)
+        expected = sum(c.success_reward for c in rewards.values())
+        assert worst_case_spend(rewards) == pytest.approx(expected)
+
+    def test_upper_bounds_expected(self):
+        rewards = make_rewards()
+        assert worst_case_spend(rewards) >= expected_spend(rewards, SUCCESS)
+
+
+class TestAgainstRealOutcome:
+    def test_decomposition_on_mechanism_outcome(self, small_single_task):
+        mechanism = SingleTaskMechanism(alpha=10.0, tolerance=1e-8)
+        outcome = mechanism.run(small_single_task)
+        success = {
+            uid: contribution_to_pos(
+                small_single_task.contributions[small_single_task.index_of(uid)]
+            )
+            for uid in outcome.winners
+        }
+        decomposition = spend_decomposition(outcome.rewards, success)
+        # Truthful winners have non-negative surplus (IR).
+        assert decomposition.alpha_coefficient >= -1e-6
+        assert decomposition.base == pytest.approx(outcome.social_cost)
+        assert decomposition.at(10.0) == pytest.approx(
+            expected_spend(outcome.rewards, success)
+        )

@@ -1,0 +1,97 @@
+"""Tests for the cost-verification scaffolding (paper, §III-A)."""
+
+import pytest
+
+from repro.core.cost_verification import CostAudit, CostReport, CostVerifier
+from repro.core.errors import ValidationError
+
+
+class TestCostReport:
+    def test_valid(self):
+        report = CostReport(1, declared_cost=10.0, measured_cost=9.5)
+        assert report.user_id == 1
+
+    def test_bad_declared_rejected(self):
+        with pytest.raises(ValidationError):
+            CostReport(1, declared_cost=0.0, measured_cost=1.0)
+
+    def test_bad_measured_rejected(self):
+        with pytest.raises(ValidationError):
+            CostReport(1, declared_cost=1.0, measured_cost=-0.5)
+
+
+class TestVerifierConfig:
+    def test_bad_tolerance(self):
+        with pytest.raises(ValidationError):
+            CostVerifier(tolerance=-0.1)
+
+    def test_bad_fine_rate(self):
+        with pytest.raises(ValidationError):
+            CostVerifier(fine_rate=-1.0)
+
+
+class TestHonesty:
+    def test_exact_declaration_honest(self):
+        verifier = CostVerifier(tolerance=0.1)
+        assert verifier.is_honest(CostReport(1, 10.0, 10.0))
+
+    def test_underdeclaration_always_honest(self):
+        """Declaring less than true cost cannot profit; never punished."""
+        verifier = CostVerifier(tolerance=0.0)
+        assert verifier.is_honest(CostReport(1, 5.0, 10.0))
+
+    def test_small_overdeclaration_within_tolerance(self):
+        verifier = CostVerifier(tolerance=0.1)
+        assert verifier.is_honest(CostReport(1, 10.9, 10.0))
+
+    def test_large_overdeclaration_flagged(self):
+        verifier = CostVerifier(tolerance=0.1)
+        assert not verifier.is_honest(CostReport(1, 12.0, 10.0))
+
+    def test_zero_tolerance_strict(self):
+        verifier = CostVerifier(tolerance=0.0)
+        assert not verifier.is_honest(CostReport(1, 10.01, 10.0))
+
+
+class TestAudit:
+    def test_honest_keeps_reward(self):
+        verifier = CostVerifier()
+        audit = verifier.audit(CostReport(1, 10.0, 10.0), reward=13.0)
+        assert audit.honest
+        assert audit.adjusted_reward == 13.0
+
+    def test_liar_forfeits_and_pays_fine(self):
+        verifier = CostVerifier(tolerance=0.1, fine_rate=2.0)
+        audit = verifier.audit(CostReport(1, 15.0, 10.0), reward=13.0)
+        assert not audit.honest
+        assert audit.adjusted_reward == pytest.approx(-2.0 * 5.0)
+
+    def test_discrepancy_recorded(self):
+        verifier = CostVerifier()
+        audit = verifier.audit(CostReport(1, 12.0, 10.0), reward=0.0)
+        assert audit.discrepancy == pytest.approx(2.0)
+
+    def test_lying_never_beats_honesty(self):
+        """Post-audit, overstating cost is strictly worse than truthfulness."""
+        verifier = CostVerifier(tolerance=0.05, fine_rate=2.0)
+        true_cost = 10.0
+        honest_audit = verifier.audit(
+            CostReport(1, true_cost, true_cost), reward=13.0
+        )
+        lying_audit = verifier.audit(CostReport(1, 14.0, true_cost), reward=17.0)
+        assert honest_audit.adjusted_reward - true_cost > (
+            lying_audit.adjusted_reward - true_cost
+        )
+
+
+class TestAuditAll:
+    def test_batch(self):
+        verifier = CostVerifier()
+        reports = [CostReport(1, 10.0, 10.0), CostReport(2, 20.0, 10.0)]
+        audits = verifier.audit_all(reports, rewards={1: 12.0, 2: 25.0})
+        assert audits[1].honest and not audits[2].honest
+
+    def test_missing_reward_defaults_to_zero(self):
+        verifier = CostVerifier()
+        audits = verifier.audit_all([CostReport(1, 10.0, 10.0)], rewards={})
+        assert audits[1].adjusted_reward == 0.0

@@ -1,0 +1,164 @@
+"""Pinned counterexample to the paper's Algorithm 5 critical-bid formula.
+
+Originally found by hypothesis on a random instance; this file distils it to
+a 4-user, 3-task construction and asserts three things:
+
+1. the *paper* method emits a critical bid below a truthful loser's total
+   contribution (the small candidate comes from a late iteration whose
+   residual requirements have been depleted on her tasks);
+2. under paper-method pricing that loser profits by inflating her declared
+   PoS — an incentive-compatibility violation;
+3. the corrected *threshold* method prices the same deviation at a critical
+   bid above her true total contribution, making the lie unprofitable.
+
+Construction (task requirements in contribution units: Q0 = Q1 = 1.0,
+Q2 = 0.2):
+
+=====  =====  ===========================  ==============
+user   cost   contributions                truthful ratio
+=====  =====  ===========================  ==============
+A(1)   1.0    q(task0) = 1.0               1.0
+B(2)   1.0    q(task1) = 1.0               1.0
+K(3)   4.0    q(task2) = 0.2               0.05
+X(4)   1.9    q(task0) = q(task1) = 0.9    ~0.947
+=====  =====  ===========================  ==============
+
+Truthfully the greedy picks A, B, K and X loses.  The counterfactual run
+(without X) has the same iterations, and its last iteration (K, gain 0.2,
+cost 4) yields the paper candidate (1.9/4)·0.2 = 0.095 — far below X's true
+total contribution 1.8.  By inflating her profile ~6%, X out-ranks A in the
+first iteration, wins, and is paid against p̄ = 1 − e^{−0.095}.
+"""
+
+import math
+
+import pytest
+
+from repro.core.critical import critical_contribution_multi
+from repro.core.greedy import greedy_allocation
+from repro.core.multi_task import MultiTaskMechanism
+from repro.core.rewards import expected_utility_multi
+from repro.core.transforms import contribution_to_pos
+from repro.core.types import AuctionInstance, Task, UserType
+
+
+def _q(contribution: float) -> float:
+    """PoS whose contribution is exactly ``contribution``."""
+    return contribution_to_pos(contribution)
+
+
+@pytest.fixture
+def flaw_instance() -> AuctionInstance:
+    tasks = [
+        Task(0, _q(1.0)),
+        Task(1, _q(1.0)),
+        Task(2, _q(0.2)),
+    ]
+    users = [
+        UserType(1, cost=1.0, pos={0: _q(1.0)}),
+        UserType(2, cost=1.0, pos={1: _q(1.0)}),
+        UserType(3, cost=4.0, pos={2: _q(0.2)}),
+        UserType(4, cost=1.9, pos={0: _q(0.9), 1: _q(0.9)}),
+    ]
+    return AuctionInstance(tasks, users)
+
+
+X_TOTAL = 1.8  # user 4's true total contribution
+
+
+class TestSetup:
+    def test_user_x_loses_truthfully(self, flaw_instance):
+        trace = greedy_allocation(flaw_instance)
+        assert trace.selected == (1, 2, 3)
+        assert 4 not in trace.selected_set
+
+
+class TestPaperMethodFlaw:
+    def test_paper_critical_bid_below_true_total(self, flaw_instance):
+        q_bar = critical_contribution_multi(flaw_instance, 4, method="paper")
+        assert q_bar == pytest.approx((1.9 / 4.0) * 0.2, rel=1e-6)
+        assert q_bar < X_TOTAL
+
+    def test_inflation_wins_the_auction(self, flaw_instance):
+        user = flaw_instance.user_by_id(4)
+        # Scale contributions by 1.08 (q' = 1.08 q  <=>  p' = 1-(1-p)^1.08).
+        inflated_pos = {j: 1 - (1 - p) ** 1.08 for j, p in user.pos.items()}
+        deviated = flaw_instance.with_replaced_user(user.with_pos(inflated_pos))
+        trace = greedy_allocation(deviated)
+        assert 4 in trace.selected_set
+
+    def test_paper_pricing_rewards_the_lie(self, flaw_instance):
+        """The IC violation: losing truthfully yet profiting from inflation."""
+        user = flaw_instance.user_by_id(4)
+        inflated_pos = {j: 1 - (1 - p) ** 1.08 for j, p in user.pos.items()}
+        deviated = flaw_instance.with_replaced_user(user.with_pos(inflated_pos))
+        mech = MultiTaskMechanism(alpha=10.0, critical_method="paper")
+        outcome = mech.run(deviated)
+        assert 4 in outcome.winners
+        lying_utility = expected_utility_multi(
+            X_TOTAL, outcome.rewards[4].critical_contribution, 10.0
+        )
+        assert lying_utility > 1.0  # strictly (and substantially) profitable
+
+
+class TestThresholdMethodFixes:
+    def test_threshold_critical_above_true_total(self, flaw_instance):
+        """X must inflate to ~1.9 total to out-rank A — above her true 1.8."""
+        user = flaw_instance.user_by_id(4)
+        inflated_pos = {j: 1 - (1 - p) ** 1.08 for j, p in user.pos.items()}
+        deviated = flaw_instance.with_replaced_user(user.with_pos(inflated_pos))
+        q_bar = critical_contribution_multi(deviated, 4, method="threshold")
+        assert q_bar == pytest.approx(1.9, rel=1e-3)
+        assert q_bar > X_TOTAL
+
+    def test_threshold_pricing_punishes_the_lie(self, flaw_instance):
+        user = flaw_instance.user_by_id(4)
+        inflated_pos = {j: 1 - (1 - p) ** 1.08 for j, p in user.pos.items()}
+        deviated = flaw_instance.with_replaced_user(user.with_pos(inflated_pos))
+        mech = MultiTaskMechanism(alpha=10.0, critical_method="threshold")
+        outcome = mech.run(deviated)
+        assert 4 in outcome.winners
+        lying_utility = expected_utility_multi(
+            X_TOTAL, outcome.rewards[4].critical_contribution, 10.0
+        )
+        assert lying_utility < 0.0
+
+    def test_threshold_matches_brute_force_scale_search(self, flaw_instance):
+        """Cross-check the analytic threshold against naive greedy reruns."""
+        user = flaw_instance.user_by_id(4)
+        inflated_pos = {j: 1 - (1 - p) ** 1.08 for j, p in user.pos.items()}
+        deviated = flaw_instance.with_replaced_user(user.with_pos(inflated_pos))
+        declared_total = deviated.user_by_id(4).total_contribution()
+
+        def wins(scale: float) -> bool:
+            q_profile = {
+                j: 1 - math.exp(-scale * (-math.log(1 - p)))
+                for j, p in deviated.user_by_id(4).pos.items()
+            }
+            probe = deviated.with_replaced_user(
+                deviated.user_by_id(4).with_pos(q_profile)
+            )
+            trace = greedy_allocation(probe, require_feasible=False)
+            return 4 in trace.selected_set
+
+        low, high = 0.0, 1.0
+        for _ in range(50):
+            mid = 0.5 * (low + high)
+            if wins(mid):
+                high = mid
+            else:
+                low = mid
+        brute_q_bar = high * declared_total
+        analytic = critical_contribution_multi(deviated, 4, method="threshold")
+        assert analytic == pytest.approx(brute_q_bar, rel=1e-3)
+
+    def test_methods_agree_when_capping_is_slack(self, small_multi_task):
+        """With ample residuals the two pricings coincide for early winners."""
+        trace = greedy_allocation(small_multi_task)
+        first_winner = trace.selected[0]
+        paper = critical_contribution_multi(small_multi_task, first_winner, method="paper")
+        threshold = critical_contribution_multi(
+            small_multi_task, first_winner, method="threshold"
+        )
+        # Threshold pricing is never lower than the paper's.
+        assert threshold >= paper - 1e-9

@@ -1,0 +1,125 @@
+"""Property tests: the analytic threshold critical bid is exact.
+
+The ``threshold`` pricing in :func:`repro.core.critical.critical_contribution_multi`
+solves per-iteration piecewise-linear equations instead of re-running the
+greedy at many scales.  These tests verify, on random instances, that it
+coincides with a brute-force binary search over the scaling factor — and
+that the win predicate really flips at the returned value.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.critical import critical_contribution_multi
+from repro.core.errors import InfeasibleInstanceError
+from repro.core.greedy import greedy_allocation
+from repro.core.types import AuctionInstance
+
+from ..conftest import make_random_multi_task, multi_task_instances
+
+
+def scale_user(instance: AuctionInstance, user_id: int, scale: float) -> AuctionInstance:
+    user = instance.user_by_id(user_id)
+    return instance.with_replaced_user(user.with_scaled_contributions(scale))
+
+
+def wins_at_scale(instance: AuctionInstance, user_id: int, scale: float) -> bool:
+    probe = scale_user(instance, user_id, scale)
+    trace = greedy_allocation(probe, require_feasible=False)
+    return user_id in trace.selected_set
+
+
+def brute_force_threshold(instance: AuctionInstance, user_id: int) -> float:
+    """Binary search the minimal winning scale; returns critical q̄ total."""
+    declared_total = instance.user_by_id(user_id).total_contribution()
+    if not wins_at_scale(instance, user_id, 1.0):
+        raise AssertionError("caller must pass a winner")
+    if wins_at_scale(instance, user_id, 0.0):
+        return 0.0
+    low, high = 0.0, 1.0
+    for _ in range(60):
+        mid = 0.5 * (low + high)
+        if wins_at_scale(instance, user_id, mid):
+            high = mid
+        else:
+            low = mid
+    return high * declared_total
+
+
+class TestThresholdMatchesBruteForce:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_instances(self, seed):
+        instance = make_random_multi_task(
+            np.random.default_rng(1000 + seed), n_users=7, n_tasks=3
+        )
+        trace = greedy_allocation(instance, require_feasible=False)
+        if not trace.satisfied:
+            pytest.skip("infeasible random instance")
+        for uid in trace.selected[:4]:
+            analytic = critical_contribution_multi(instance, uid, method="threshold")
+            brute = brute_force_threshold(instance, uid)
+            assert analytic == pytest.approx(brute, rel=1e-3, abs=1e-6), (
+                f"user {uid}: analytic {analytic} vs brute {brute}"
+            )
+
+    @given(multi_task_instances(max_users=5, max_tasks=3))
+    @settings(max_examples=25, deadline=None)
+    def test_hypothesis_instances(self, instance):
+        trace = greedy_allocation(instance, require_feasible=False)
+        if not trace.satisfied or not trace.selected:
+            return
+        uid = trace.selected[0]
+        analytic = critical_contribution_multi(instance, uid, method="threshold")
+        brute = brute_force_threshold(instance, uid)
+        assert analytic == pytest.approx(brute, rel=1e-3, abs=1e-6)
+
+
+class TestWinFlipsAtThreshold:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_flip(self, seed):
+        instance = make_random_multi_task(
+            np.random.default_rng(2000 + seed), n_users=7, n_tasks=3
+        )
+        trace = greedy_allocation(instance, require_feasible=False)
+        if not trace.satisfied:
+            pytest.skip("infeasible random instance")
+        uid = trace.selected[0]
+        declared_total = instance.user_by_id(uid).total_contribution()
+        q_bar = critical_contribution_multi(instance, uid, method="threshold")
+        if q_bar <= 1e-9:
+            return  # pivotal user: wins at any declaration
+        scale_at_threshold = q_bar / declared_total
+        assert wins_at_scale(instance, uid, min(1.0, scale_at_threshold * 1.01))
+        if scale_at_threshold > 0.02:
+            assert not wins_at_scale(instance, uid, scale_at_threshold * 0.98)
+
+
+class TestOrderingVsPaperMethod:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_threshold_never_below_paper_for_non_pivotal(self, seed):
+        """Threshold pricing fixes *under*pricing: q̄_threshold >= q̄_paper.
+
+        The ordering holds for non-pivotal winners.  A *pivotal* winner
+        (the counterfactual run without her cannot satisfy the
+        requirements) truly wins with any declaration, so the threshold
+        method prices her at 0 while the paper formula still emits a
+        positive — and meaningless — candidate from the partial run.
+        """
+        instance = make_random_multi_task(
+            np.random.default_rng(3000 + seed), n_users=7, n_tasks=3
+        )
+        trace = greedy_allocation(instance, require_feasible=False)
+        if not trace.satisfied:
+            pytest.skip("infeasible random instance")
+        for uid in trace.selected[:4]:
+            counterfactual = greedy_allocation(
+                instance.without_user(uid), require_feasible=False
+            )
+            if not counterfactual.satisfied:
+                continue  # pivotal: threshold is rightly 0
+            paper = critical_contribution_multi(instance, uid, method="paper")
+            threshold = critical_contribution_multi(instance, uid, method="threshold")
+            assert threshold >= paper - 1e-9

@@ -1,0 +1,194 @@
+"""Tests for the multi-task greedy winner determination (Algorithm 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.errors import InfeasibleInstanceError
+from repro.core.greedy import capped_gain, greedy_allocation
+from repro.core.types import AuctionInstance, Task, UserType
+
+from ..conftest import make_random_multi_task, multi_task_instances
+
+
+class TestCappedGain:
+    def test_full_gain_when_requirements_large(self):
+        user = UserType(1, cost=1.0, pos={0: 0.5, 1: 0.5})
+        residual = {0: 10.0, 1: 10.0}
+        assert capped_gain(user, residual) == pytest.approx(user.total_contribution())
+
+    def test_capped_at_residual(self):
+        user = UserType(1, cost=1.0, pos={0: 0.9})
+        residual = {0: 0.1}
+        assert capped_gain(user, residual) == pytest.approx(0.1)
+
+    def test_zero_for_satisfied_tasks(self):
+        user = UserType(1, cost=1.0, pos={0: 0.9})
+        assert capped_gain(user, {0: 0.0}) == 0.0
+
+    def test_ignores_tasks_outside_bundle(self):
+        user = UserType(1, cost=1.0, pos={0: 0.5})
+        residual = {0: 10.0, 1: 10.0}
+        assert capped_gain(user, residual) == pytest.approx(user.contribution(0))
+
+
+class TestGreedyAllocation:
+    def test_satisfies_all_requirements(self, small_multi_task):
+        trace = greedy_allocation(small_multi_task)
+        assert trace.satisfied
+        winners = trace.selected_set
+        for task in small_multi_task.tasks:
+            total = sum(
+                u.contribution(task.task_id)
+                for u in small_multi_task.users
+                if u.user_id in winners
+            )
+            assert total >= task.contribution_requirement - 1e-9
+
+    def test_residual_after_all_zero(self, small_multi_task):
+        trace = greedy_allocation(small_multi_task)
+        assert all(r <= 1e-9 for r in trace.residual_after.values())
+
+    def test_iterations_match_selection_order(self, small_multi_task):
+        trace = greedy_allocation(small_multi_task)
+        assert tuple(it.user_id for it in trace.iterations) == trace.selected
+
+    def test_ratios_recorded_correctly(self, small_multi_task):
+        trace = greedy_allocation(small_multi_task)
+        for iteration in trace.iterations:
+            assert iteration.ratio == pytest.approx(iteration.gain / iteration.cost)
+
+    def test_picks_best_ratio_first(self):
+        # User 2 has ratio 1.0, user 1 has ratio ~0.35: user 2 goes first.
+        instance = AuctionInstance(
+            [Task(0, 0.6)],
+            [
+                UserType(1, cost=2.0, pos={0: 0.5}),
+                UserType(2, cost=0.7, pos={0: 0.5}),
+            ],
+        )
+        trace = greedy_allocation(instance)
+        assert trace.selected[0] == 2
+
+    def test_infeasible_raises_with_task_ids(self):
+        instance = AuctionInstance(
+            [Task(0, 0.9), Task(1, 0.1)],
+            [
+                UserType(1, cost=1.0, pos={0: 0.1, 1: 0.5}),
+            ],
+        )
+        with pytest.raises(InfeasibleInstanceError) as excinfo:
+            greedy_allocation(instance)
+        assert 0 in excinfo.value.uncoverable_tasks
+
+    def test_infeasible_tolerated_when_not_required(self):
+        instance = AuctionInstance(
+            [Task(0, 0.9)],
+            [UserType(1, cost=1.0, pos={0: 0.1})],
+        )
+        trace = greedy_allocation(instance, require_feasible=False)
+        assert not trace.satisfied
+        assert trace.selected == (1,)  # still picked the only contributor
+
+    def test_zero_requirements_select_nobody(self):
+        instance = AuctionInstance(
+            [Task(0, 0.0)], [UserType(1, cost=1.0, pos={0: 0.5})]
+        )
+        trace = greedy_allocation(instance)
+        assert trace.selected == ()
+        assert trace.satisfied
+
+    def test_deterministic_tie_break_lowest_id(self):
+        instance = AuctionInstance(
+            [Task(0, 0.6)],
+            [
+                UserType(5, cost=1.0, pos={0: 0.5}),
+                UserType(2, cost=1.0, pos={0: 0.5}),
+            ],
+        )
+        trace = greedy_allocation(instance)
+        assert trace.selected[0] == 2
+
+    def test_total_cost_helper(self, small_multi_task):
+        trace = greedy_allocation(small_multi_task)
+        expected = sum(
+            small_multi_task.user_by_id(uid).cost for uid in trace.selected
+        )
+        assert trace.total_cost(small_multi_task) == pytest.approx(expected)
+
+    def test_no_user_selected_twice(self, rng):
+        for seed in range(5):
+            instance = make_random_multi_task(
+                np.random.default_rng(seed), n_users=8, n_tasks=4
+            )
+            trace = greedy_allocation(instance, require_feasible=False)
+            assert len(set(trace.selected)) == len(trace.selected)
+
+    @given(multi_task_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_feasible_instances_always_satisfied(self, instance):
+        trace = greedy_allocation(instance, require_feasible=False)
+        # Instances from the strategy are feasible by construction.
+        assert trace.satisfied
+
+    @given(multi_task_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_ratio_non_increasing_over_iterations(self, instance):
+        # By submodularity, the best available ratio can only fall.
+        trace = greedy_allocation(instance, require_feasible=False)
+        ratios = [it.ratio for it in trace.iterations]
+        for earlier, later in zip(ratios, ratios[1:]):
+            assert later <= earlier + 1e-9
+
+
+class TestFastReferenceEquivalence:
+    """The vectorised default and the paper-literal reference must agree."""
+
+    def test_small_fixture(self, small_multi_task):
+        from repro.core.greedy import greedy_allocation_reference
+
+        fast = greedy_allocation(small_multi_task)
+        reference = greedy_allocation_reference(small_multi_task)
+        assert fast.selected == reference.selected
+        assert fast.satisfied == reference.satisfied
+        assert fast.residual_after == pytest.approx(reference.residual_after)
+        for a, b in zip(fast.iterations, reference.iterations):
+            assert a.user_id == b.user_id
+            assert a.gain == pytest.approx(b.gain)
+            assert a.ratio == pytest.approx(b.ratio)
+            assert a.residual_before == pytest.approx(b.residual_before)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_instances(self, seed):
+        from repro.core.greedy import greedy_allocation_reference
+
+        instance = make_random_multi_task(
+            np.random.default_rng(4000 + seed), n_users=10, n_tasks=4
+        )
+        fast = greedy_allocation(instance, require_feasible=False)
+        reference = greedy_allocation_reference(instance, require_feasible=False)
+        assert fast.selected == reference.selected
+        assert fast.satisfied == reference.satisfied
+
+    @given(multi_task_instances(max_users=6, max_tasks=4))
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence_property(self, instance):
+        from repro.core.greedy import greedy_allocation_reference
+
+        fast = greedy_allocation(instance, require_feasible=False)
+        reference = greedy_allocation_reference(instance, require_feasible=False)
+        assert fast.selected == reference.selected
+
+    def test_infeasible_error_matches(self):
+        from repro.core.greedy import greedy_allocation_reference
+        from repro.core.errors import InfeasibleInstanceError
+        from repro.core.types import AuctionInstance, Task, UserType
+
+        instance = AuctionInstance(
+            [Task(0, 0.9)], [UserType(1, cost=1.0, pos={0: 0.1})]
+        )
+        with pytest.raises(InfeasibleInstanceError) as fast_error:
+            greedy_allocation(instance)
+        with pytest.raises(InfeasibleInstanceError) as ref_error:
+            greedy_allocation_reference(instance)
+        assert fast_error.value.uncoverable_tasks == ref_error.value.uncoverable_tasks

@@ -1,0 +1,179 @@
+"""Tests for the Pareto-frontier dynamic program (Algorithm 1)."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InfeasibleInstanceError, ValidationError
+from repro.core.knapsack import (
+    knapsack_frontier,
+    solve_max_knapsack,
+    solve_min_knapsack,
+)
+
+
+def brute_force_min(costs, contributions, requirement):
+    """Exhaustive minimum knapsack for cross-checking."""
+    best_cost = math.inf
+    best = None
+    n = len(costs)
+    for r in range(n + 1):
+        for combo in itertools.combinations(range(n), r):
+            q = sum(contributions[i] for i in combo)
+            c = sum(costs[i] for i in combo)
+            if q >= requirement - 1e-9 and c < best_cost:
+                best_cost = c
+                best = frozenset(combo)
+    return best, best_cost
+
+
+class TestFrontierInvariants:
+    def test_empty_input_has_root_state(self):
+        frontier = knapsack_frontier([], [])
+        assert len(frontier) == 1
+        assert frontier[0].cost == 0.0 and frontier[0].contribution == 0.0
+
+    def test_frontier_sorted_and_strictly_improving(self, rng):
+        costs = list(rng.uniform(1, 10, size=10))
+        contributions = list(rng.uniform(0.1, 2, size=10))
+        frontier = knapsack_frontier(costs, contributions)
+        for earlier, later in zip(frontier, frontier[1:]):
+            assert later.cost >= earlier.cost - 1e-12
+            assert later.contribution > earlier.contribution
+
+    def test_no_state_dominates_another(self, rng):
+        costs = list(rng.integers(1, 20, size=8).astype(float))
+        contributions = list(rng.uniform(0.1, 2, size=8))
+        frontier = knapsack_frontier(costs, contributions)
+        for a, b in itertools.combinations(frontier, 2):
+            dominates = a.cost <= b.cost + 1e-12 and a.contribution >= b.contribution - 1e-12
+            dominated = b.cost <= a.cost + 1e-12 and b.contribution >= a.contribution - 1e-12
+            assert not (dominates or dominated)
+
+    def test_state_reconstruction_consistent(self, rng):
+        costs = list(rng.uniform(1, 10, size=8))
+        contributions = list(rng.uniform(0.1, 2, size=8))
+        for state in knapsack_frontier(costs, contributions):
+            items = state.selected_items()
+            assert sum(costs[i] for i in items) == pytest.approx(state.cost)
+            assert sum(contributions[i] for i in items) == pytest.approx(
+                state.contribution
+            )
+
+    def test_cap_truncates_frontier(self):
+        # With a cap, once the cap is reachable cheaply no costlier state survives.
+        costs = [1.0, 2.0, 3.0]
+        contributions = [5.0, 5.0, 5.0]
+        frontier = knapsack_frontier(costs, contributions, cap=4.0)
+        capped = [s for s in frontier if s.contribution >= 4.0]
+        assert len(capped) == 1
+        assert capped[0].cost == pytest.approx(1.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValidationError):
+            knapsack_frontier([-1.0], [0.5])
+
+    def test_negative_contribution_rejected(self):
+        with pytest.raises(ValidationError):
+            knapsack_frontier([1.0], [-0.5])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            knapsack_frontier([1.0, 2.0], [0.5])
+
+    def test_integer_costs_bound_frontier_size(self, rng):
+        costs = list(rng.integers(1, 5, size=12).astype(float))
+        contributions = list(rng.uniform(0.1, 1, size=12))
+        frontier = knapsack_frontier(costs, contributions)
+        assert len(frontier) <= int(sum(costs)) + 1
+
+
+class TestMinKnapsack:
+    def test_trivial_zero_requirement(self):
+        solution = solve_min_knapsack([5.0], [1.0], 0.0)
+        assert solution.items == frozenset()
+        assert solution.cost == 0.0
+
+    def test_single_item_needed(self):
+        solution = solve_min_knapsack([5.0, 1.0], [1.0, 1.0], 0.5)
+        assert solution.items == frozenset({1})
+        assert solution.cost == pytest.approx(1.0)
+
+    def test_infeasible_raises(self):
+        with pytest.raises(InfeasibleInstanceError):
+            solve_min_knapsack([1.0, 1.0], [0.3, 0.3], 1.0)
+
+    def test_negative_requirement_rejected(self):
+        with pytest.raises(ValidationError):
+            solve_min_knapsack([1.0], [1.0], -0.5)
+
+    def test_exact_boundary_feasible(self):
+        solution = solve_min_knapsack([2.0, 3.0], [0.5, 0.5], 1.0)
+        assert solution.items == frozenset({0, 1})
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 9))
+        costs = list(rng.uniform(0.5, 10, size=n))
+        contributions = list(rng.uniform(0.1, 2, size=n))
+        requirement = float(rng.uniform(0.1, 0.9)) * sum(contributions)
+        expected_items, expected_cost = brute_force_min(costs, contributions, requirement)
+        solution = solve_min_knapsack(costs, contributions, requirement)
+        assert solution.cost == pytest.approx(expected_cost)
+        assert sum(contributions[i] for i in solution.items) >= requirement - 1e-9
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=15),
+                st.floats(min_value=0.05, max_value=2.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_optimality_property(self, items, fraction):
+        costs = [float(c) for c, _ in items]
+        contributions = [q for _, q in items]
+        requirement = fraction * sum(contributions)
+        _, expected_cost = brute_force_min(costs, contributions, requirement)
+        solution = solve_min_knapsack(costs, contributions, requirement)
+        assert solution.cost == pytest.approx(expected_cost, abs=1e-9)
+
+
+class TestMaxKnapsack:
+    def test_empty_budget_selects_nothing(self):
+        solution = solve_max_knapsack([1.0, 2.0], [1.0, 3.0], 0.0)
+        assert solution.items == frozenset()
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValidationError):
+            solve_max_knapsack([1.0], [1.0], -1.0)
+
+    def test_small_example(self):
+        # budget 4: best is items {0, 1} with value 4, not item 2 with value 3.5
+        solution = solve_max_knapsack([2.0, 2.0, 4.0], [2.0, 2.0, 3.5], 4.0)
+        assert solution.items == frozenset({0, 1})
+        assert solution.contribution == pytest.approx(4.0)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(3, 8))
+        costs = list(rng.uniform(0.5, 5, size=n))
+        contributions = list(rng.uniform(0.1, 2, size=n))
+        budget = float(rng.uniform(0.2, 0.8)) * sum(costs)
+        best_value = 0.0
+        for r in range(n + 1):
+            for combo in itertools.combinations(range(n), r):
+                if sum(costs[i] for i in combo) <= budget + 1e-9:
+                    best_value = max(best_value, sum(contributions[i] for i in combo))
+        solution = solve_max_knapsack(costs, contributions, budget)
+        assert solution.contribution == pytest.approx(best_value)

@@ -1,0 +1,186 @@
+"""Tests for the multi-task, single-minded mechanism (Algorithms 4 + 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import exhaustive_multi_task
+from repro.core.errors import InfeasibleInstanceError, ValidationError
+from repro.core.multi_task import MultiTaskMechanism
+from repro.core.rewards import expected_utility_multi
+from repro.core.submodular import greedy_approximation_bound
+from repro.core.types import AuctionInstance, Task, UserType
+
+from ..conftest import make_random_multi_task
+
+
+class TestConfiguration:
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ValidationError):
+            MultiTaskMechanism(alpha=-1.0)
+
+
+class TestOutcome:
+    def test_every_task_meets_requirement(self, small_multi_task):
+        outcome = MultiTaskMechanism().run(small_multi_task)
+        for task in small_multi_task.tasks:
+            assert outcome.achieved_pos[task.task_id] >= task.requirement - 1e-9
+
+    def test_social_cost_matches_winner_costs(self, small_multi_task):
+        outcome = MultiTaskMechanism().run(small_multi_task)
+        expected = sum(
+            small_multi_task.user_by_id(uid).cost for uid in outcome.winners
+        )
+        assert outcome.social_cost == pytest.approx(expected)
+
+    def test_contracts_for_all_winners(self, small_multi_task):
+        outcome = MultiTaskMechanism().run(small_multi_task)
+        assert set(outcome.rewards) == set(outcome.winners)
+
+    def test_skip_rewards_mode(self, small_multi_task):
+        outcome = MultiTaskMechanism().run(small_multi_task, compute_rewards=False)
+        assert outcome.rewards == {}
+
+    def test_average_achieved_pos(self, small_multi_task):
+        outcome = MultiTaskMechanism().run(small_multi_task)
+        assert outcome.average_achieved_pos() == pytest.approx(
+            sum(outcome.achieved_pos.values()) / len(outcome.achieved_pos)
+        )
+
+    def test_infeasible_instance_raises(self):
+        instance = AuctionInstance(
+            [Task(0, 0.95)], [UserType(1, cost=1.0, pos={0: 0.2})]
+        )
+        with pytest.raises(InfeasibleInstanceError):
+            MultiTaskMechanism().run(instance)
+
+    def test_trace_exposed(self, small_multi_task):
+        outcome = MultiTaskMechanism().run(small_multi_task)
+        assert outcome.trace.satisfied
+        assert outcome.trace.selected_set == outcome.winners
+
+
+class TestEconomicProperties:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_individual_rationality(self, seed):
+        instance = make_random_multi_task(
+            np.random.default_rng(seed), n_users=8, n_tasks=3
+        )
+        mech = MultiTaskMechanism()
+        try:
+            outcome = mech.run(instance)
+        except InfeasibleInstanceError:
+            pytest.skip("random instance infeasible")
+        for uid, contract in outcome.rewards.items():
+            user = instance.user_by_id(uid)
+            utility = expected_utility_multi(
+                user.total_contribution(), contract.critical_contribution, mech.alpha
+            )
+            assert utility >= -1e-6
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_no_profitable_inflation(self, seed):
+        """Shape-preserving inflation (the single-minded deviation model).
+
+        ``with_scaled_contributions`` scales the contribution profile while
+        keeping its per-task proportions — the deviation space the corrected
+        threshold pricing is strategy-proof against.  (Shape-*changing*
+        misreports are inherently unpriceable here; see
+        ``repro.core.critical``.)
+        """
+        instance = make_random_multi_task(
+            np.random.default_rng(40 + seed), n_users=7, n_tasks=3
+        )
+        mech = MultiTaskMechanism()
+        try:
+            outcome = mech.run(instance)
+        except InfeasibleInstanceError:
+            pytest.skip("random instance infeasible")
+        for uid in list(outcome.winners)[:3]:
+            user = instance.user_by_id(uid)
+            true_total = user.total_contribution()
+            truthful_u = expected_utility_multi(
+                true_total, outcome.rewards[uid].critical_contribution, mech.alpha
+            )
+            for factor in (0.5, 1.4, 1.8, 3.0):
+                inflated = instance.with_replaced_user(
+                    user.with_scaled_contributions(factor)
+                )
+                try:
+                    inflated_outcome = mech.run(inflated)
+                except InfeasibleInstanceError:
+                    continue  # understating broke feasibility: auction aborts
+
+                if uid in inflated_outcome.winners:
+                    lying_u = expected_utility_multi(
+                        true_total,
+                        inflated_outcome.rewards[uid].critical_contribution,
+                        mech.alpha,
+                    )
+                    assert lying_u <= truthful_u + 1e-6
+
+    def test_dropping_a_bundle_task_is_unprofitable(self, small_multi_task):
+        """Theorem 4's argument: dropping a bundle task = zeroing its PoS.
+
+        The EC contract can only pay for success on *declared* tasks (the
+        platform neither assigns nor observes hidden ones), so a user who
+        hides a task also shrinks her own success probability.  Under that
+        accounting the drop never beats truthful reporting.
+        """
+        mech = MultiTaskMechanism()
+        outcome = mech.run(small_multi_task)
+        for uid in sorted(outcome.winners):
+            user = small_multi_task.user_by_id(uid)
+            if len(user.task_set) < 2:
+                continue
+            truthful_u = expected_utility_multi(
+                user.total_contribution(),
+                outcome.rewards[uid].critical_contribution,
+                mech.alpha,
+            )
+            for dropped in sorted(user.task_set):
+                smaller_bundle = {j: p for j, p in user.pos.items() if j != dropped}
+                lying = small_multi_task.with_replaced_user(user.with_pos(smaller_bundle))
+                lying_outcome = mech.run(lying)
+                if uid not in lying_outcome.winners:
+                    continue  # losing earns 0 <= truthful utility (IR-tested)
+                declared_total = sum(user.contribution(j) for j in smaller_bundle)
+                lying_u = expected_utility_multi(
+                    declared_total,
+                    lying_outcome.rewards[uid].critical_contribution,
+                    mech.alpha,
+                )
+                assert lying_u <= truthful_u + 1e-6
+
+
+class TestApproximationQuality:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_within_harmonic_bound_of_opt(self, seed):
+        """Theorem 5: greedy cost <= H(gamma) * OPT."""
+        instance = make_random_multi_task(
+            np.random.default_rng(700 + seed), n_users=8, n_tasks=3
+        )
+        mech = MultiTaskMechanism()
+        try:
+            outcome = mech.run(instance, compute_rewards=False)
+        except InfeasibleInstanceError:
+            pytest.skip("random instance infeasible")
+        opt = exhaustive_multi_task(instance)
+        bound = greedy_approximation_bound(instance, delta_q=0.01)
+        assert outcome.social_cost <= bound * opt.total_cost + 1e-6
+
+    def test_close_to_opt_in_practice(self):
+        """The paper observes near-optimal behaviour; check a mild bound."""
+        ratios = []
+        for seed in range(6):
+            instance = make_random_multi_task(
+                np.random.default_rng(800 + seed), n_users=9, n_tasks=3
+            )
+            mech = MultiTaskMechanism()
+            try:
+                outcome = mech.run(instance, compute_rewards=False)
+            except InfeasibleInstanceError:
+                continue
+            opt = exhaustive_multi_task(instance)
+            ratios.append(outcome.social_cost / opt.total_cost)
+        assert ratios, "all random instances infeasible?"
+        assert float(np.mean(ratios)) <= 1.6

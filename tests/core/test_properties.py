@@ -1,0 +1,122 @@
+"""Economic-property sweeps via the mechanized checkers (paper, §II)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.errors import InfeasibleInstanceError
+from repro.core.multi_task import MultiTaskMechanism
+from repro.core.properties import (
+    check_incentive_compatibility_multi,
+    check_incentive_compatibility_single,
+    check_individual_rationality_multi,
+    check_individual_rationality_single,
+    check_monotonicity_multi,
+    check_monotonicity_single,
+)
+from repro.core.single_task import SingleTaskMechanism
+
+from ..conftest import (
+    make_random_multi_task,
+    make_random_single_task,
+    multi_task_instances,
+    single_task_instances,
+)
+
+SINGLE_MECH = SingleTaskMechanism(epsilon=0.5, tolerance=1e-8)
+MULTI_MECH = MultiTaskMechanism()
+
+POS_DEVIATIONS = (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+
+
+class TestSingleTaskProperties:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_individual_rationality(self, seed):
+        instance = make_random_single_task(np.random.default_rng(seed), n_users=8)
+        report = check_individual_rationality_single(instance, SINGLE_MECH)
+        assert report.holds, report.violations
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_incentive_compatibility(self, seed):
+        instance = make_random_single_task(np.random.default_rng(20 + seed), n_users=7)
+        for uid in instance.user_ids[:4]:
+            report = check_incentive_compatibility_single(
+                instance, SINGLE_MECH, uid, POS_DEVIATIONS
+            )
+            assert report.holds, report.violations
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_monotonicity(self, seed):
+        instance = make_random_single_task(np.random.default_rng(40 + seed), n_users=8)
+        grid = np.linspace(0.0, instance.requirement, 12)
+        for uid in instance.user_ids[:4]:
+            report = check_monotonicity_single(instance, SINGLE_MECH, uid, grid)
+            assert report.holds, report.violations
+
+    @given(single_task_instances(max_users=6))
+    @settings(max_examples=15, deadline=None)
+    def test_ir_property(self, instance):
+        report = check_individual_rationality_single(instance, SINGLE_MECH)
+        assert report.holds, report.violations
+
+    @given(single_task_instances(max_users=5))
+    @settings(max_examples=10, deadline=None)
+    def test_ic_property(self, instance):
+        report = check_incentive_compatibility_single(
+            instance, SINGLE_MECH, instance.user_ids[0], (0.05, 0.5, 0.95)
+        )
+        assert report.holds, report.violations
+
+
+class TestMultiTaskProperties:
+    def _feasible_instance(self, seed, n_users=7, n_tasks=3):
+        instance = make_random_multi_task(
+            np.random.default_rng(seed), n_users=n_users, n_tasks=n_tasks
+        )
+        try:
+            MULTI_MECH.run(instance, compute_rewards=False)
+        except InfeasibleInstanceError:
+            pytest.skip("random instance infeasible")
+        return instance
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_individual_rationality(self, seed):
+        instance = self._feasible_instance(seed)
+        report = check_individual_rationality_multi(instance, MULTI_MECH)
+        assert report.holds, report.violations
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_incentive_compatibility(self, seed):
+        instance = self._feasible_instance(60 + seed)
+        for uid in [u.user_id for u in instance.users][:3]:
+            report = check_incentive_compatibility_multi(instance, MULTI_MECH, uid)
+            assert report.holds, report.violations
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_monotonicity(self, seed):
+        instance = self._feasible_instance(80 + seed)
+        grid = (0.1, 0.3, 0.5, 0.8, 1.0, 1.3, 1.7)
+        for uid in [u.user_id for u in instance.users][:3]:
+            report = check_monotonicity_multi(instance, MULTI_MECH, uid, grid)
+            assert report.holds, report.violations
+
+    @given(multi_task_instances(max_users=5, max_tasks=3))
+    @settings(max_examples=10, deadline=None)
+    def test_ir_property(self, instance):
+        try:
+            report = check_individual_rationality_multi(instance, MULTI_MECH)
+        except InfeasibleInstanceError:
+            return
+        assert report.holds, report.violations
+
+
+class TestReportStructure:
+    def test_report_counts_checks(self, small_single_task):
+        report = check_incentive_compatibility_single(
+            small_single_task, SINGLE_MECH, 0, POS_DEVIATIONS
+        )
+        assert report.checked == len(POS_DEVIATIONS)
+
+    def test_report_holds_iff_no_violations(self, small_single_task):
+        report = check_individual_rationality_single(small_single_task, SINGLE_MECH)
+        assert report.holds == (len(report.violations) == 0)

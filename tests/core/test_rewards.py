@@ -1,0 +1,118 @@
+"""Tests for the execution-contingent reward scheme (Eq. (1), Eq. (6))."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ValidationError
+from repro.core.rewards import (
+    ec_reward,
+    expected_utility_generic,
+    expected_utility_multi,
+    expected_utility_single,
+)
+from repro.core.transforms import pos_to_contribution
+
+
+class TestEcReward:
+    def test_paper_formulas(self):
+        # r_success = (1 - p̄)·α + c ; r_failure = -p̄·α + c
+        contract = ec_reward(1, critical_contribution=pos_to_contribution(0.4), cost=3.0, alpha=10.0)
+        assert contract.critical_pos == pytest.approx(0.4)
+        assert contract.success_reward == pytest.approx(0.6 * 10 + 3)
+        assert contract.failure_reward == pytest.approx(-0.4 * 10 + 3)
+
+    def test_failure_reward_can_be_negative(self):
+        contract = ec_reward(1, pos_to_contribution(0.9), cost=1.0, alpha=10.0)
+        assert contract.failure_reward < 0
+
+    def test_realized(self):
+        contract = ec_reward(1, pos_to_contribution(0.5), cost=2.0, alpha=4.0)
+        assert contract.realized(True) == pytest.approx(contract.success_reward)
+        assert contract.realized(False) == pytest.approx(contract.failure_reward)
+
+    def test_realized_utility(self):
+        contract = ec_reward(1, pos_to_contribution(0.5), cost=2.0, alpha=4.0)
+        assert contract.realized_utility(True) == pytest.approx(
+            contract.success_reward - 2.0
+        )
+
+    def test_zero_critical_bid_means_guaranteed_payment(self):
+        contract = ec_reward(1, 0.0, cost=2.0, alpha=10.0)
+        assert contract.success_reward == pytest.approx(12.0)
+        assert contract.failure_reward == pytest.approx(2.0)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValidationError):
+            ec_reward(1, 0.5, cost=1.0, alpha=0.0)
+        with pytest.raises(ValidationError):
+            ec_reward(1, 0.5, cost=1.0, alpha=-3.0)
+
+    def test_negative_critical_contribution_rejected(self):
+        with pytest.raises(ValidationError):
+            ec_reward(1, -0.1, cost=1.0, alpha=1.0)
+
+
+class TestExpectedUtility:
+    @given(
+        st.floats(min_value=0.0, max_value=0.99),
+        st.floats(min_value=0.0, max_value=0.99),
+        st.floats(min_value=0.5, max_value=10.0),
+        st.floats(min_value=1.0, max_value=20.0),
+    )
+    def test_contract_utility_matches_closed_form(self, true_pos, critical_pos, cost, alpha):
+        """Eq. (1) evaluated at the EC contract collapses to (p − p̄)·α."""
+        contract = ec_reward(1, pos_to_contribution(critical_pos), cost, alpha)
+        via_contract = contract.expected_utility(true_pos)
+        closed_form = expected_utility_single(true_pos, contract.critical_pos, alpha)
+        assert via_contract == pytest.approx(closed_form, abs=1e-9)
+
+    def test_generic_formula(self):
+        # u = p (r1 - r2) - c + r2
+        assert expected_utility_generic(0.5, 10.0, 2.0, 3.0) == pytest.approx(
+            0.5 * 8 - 3 + 2
+        )
+
+    def test_truthful_winner_nonnegative(self):
+        # p >= p̄ for a truthful winner => utility >= 0.
+        assert expected_utility_single(0.7, 0.6, 10.0) > 0
+        assert expected_utility_single(0.6, 0.6, 10.0) == pytest.approx(0.0)
+
+    def test_liar_below_critical_negative(self):
+        assert expected_utility_single(0.4, 0.6, 10.0) < 0
+
+    def test_multi_task_formula(self):
+        # u = (e^{-q̄} − e^{-Σq})·α
+        q_bar = 0.5
+        q_total = 1.2
+        expected = (math.exp(-0.5) - math.exp(-1.2)) * 10.0
+        assert expected_utility_multi(q_total, q_bar, 10.0) == pytest.approx(expected)
+
+    def test_multi_task_sign_pivots_at_critical(self):
+        assert expected_utility_multi(1.0, 0.5, 10.0) > 0
+        assert expected_utility_multi(0.5, 0.5, 10.0) == pytest.approx(0.0)
+        assert expected_utility_multi(0.2, 0.5, 10.0) < 0
+
+    @given(
+        st.floats(min_value=0.0, max_value=5.0),
+        st.floats(min_value=0.0, max_value=5.0),
+    )
+    def test_multi_utility_monotone_in_true_contribution(self, q_a, q_b):
+        lower, higher = sorted((q_a, q_b))
+        assert expected_utility_multi(higher, 0.7, 10.0) >= expected_utility_multi(
+            lower, 0.7, 10.0
+        )
+
+    def test_multi_matches_eq6_expansion(self):
+        """Eq. (6): expected utility from the contract over 'any task succeeds'."""
+        pos = {0: 0.3, 1: 0.5}
+        q_total = sum(pos_to_contribution(p) for p in pos.values())
+        q_bar = 0.4
+        alpha = 10.0
+        cost = 2.0
+        contract = ec_reward(1, q_bar, cost, alpha)
+        p_any = 1.0 - (1 - 0.3) * (1 - 0.5)
+        direct = p_any * contract.success_reward + (1 - p_any) * contract.failure_reward - cost
+        assert expected_utility_multi(q_total, q_bar, alpha) == pytest.approx(direct)

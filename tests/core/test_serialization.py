@@ -1,0 +1,128 @@
+"""Tests for JSON serialisation of instances and outcomes."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.core.multi_task import MultiTaskMechanism
+from repro.core.serialization import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    outcome_to_dict,
+    save_instance,
+    single_task_from_dict,
+    single_task_to_dict,
+)
+from repro.core.single_task import SingleTaskMechanism
+
+
+class TestInstanceRoundtrip:
+    def test_dict_roundtrip(self, small_multi_task):
+        rebuilt = instance_from_dict(instance_to_dict(small_multi_task))
+        assert rebuilt.n_tasks == small_multi_task.n_tasks
+        assert rebuilt.n_users == small_multi_task.n_users
+        for user in small_multi_task.users:
+            clone = rebuilt.user_by_id(user.user_id)
+            assert clone.cost == user.cost
+            assert dict(clone.pos) == dict(user.pos)
+
+    def test_file_roundtrip(self, small_multi_task, tmp_path):
+        path = tmp_path / "instance.json"
+        save_instance(small_multi_task, path)
+        rebuilt = load_instance(path)
+        assert rebuilt.requirements() == pytest.approx(small_multi_task.requirements())
+
+    def test_json_is_plain(self, small_multi_task, tmp_path):
+        path = tmp_path / "instance.json"
+        save_instance(small_multi_task, path)
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "auction_instance"
+        assert payload["schema"] == 1
+
+    def test_mechanism_agrees_after_roundtrip(self, small_multi_task):
+        """The auction clears identically on the rebuilt instance."""
+        rebuilt = instance_from_dict(instance_to_dict(small_multi_task))
+        original = MultiTaskMechanism().run(small_multi_task, compute_rewards=False)
+        again = MultiTaskMechanism().run(rebuilt, compute_rewards=False)
+        assert original.winners == again.winners
+        assert original.social_cost == pytest.approx(again.social_cost)
+
+    def test_unknown_schema_rejected(self, small_multi_task):
+        payload = instance_to_dict(small_multi_task)
+        payload["schema"] = 99
+        with pytest.raises(ValidationError):
+            instance_from_dict(payload)
+
+    def test_wrong_kind_rejected(self, small_multi_task):
+        payload = instance_to_dict(small_multi_task)
+        payload["kind"] = "something_else"
+        with pytest.raises(ValidationError):
+            instance_from_dict(payload)
+
+    def test_invalid_content_rejected(self, small_multi_task):
+        """Deserialisation goes through the validating constructors."""
+        payload = instance_to_dict(small_multi_task)
+        payload["users"][0]["cost"] = -1.0
+        with pytest.raises(ValidationError):
+            instance_from_dict(payload)
+
+
+class TestSingleTaskRoundtrip:
+    def test_roundtrip(self, small_single_task):
+        rebuilt = single_task_from_dict(single_task_to_dict(small_single_task))
+        assert rebuilt == small_single_task
+
+    def test_kind_mismatch_rejected(self, small_single_task, small_multi_task):
+        with pytest.raises(ValidationError):
+            single_task_from_dict(instance_to_dict(small_multi_task))
+
+
+class TestOutcomeRecord:
+    def test_single_task_record(self, small_single_task):
+        outcome = SingleTaskMechanism(tolerance=1e-6).run(small_single_task)
+        record = outcome_to_dict(outcome)
+        assert record["setting"] == "single"
+        assert record["winners"] == sorted(outcome.winners)
+        assert record["social_cost"] == pytest.approx(outcome.social_cost)
+        for uid in outcome.winners:
+            contract = record["contracts"][str(uid)]
+            assert contract["success_reward"] == pytest.approx(
+                outcome.rewards[uid].success_reward
+            )
+
+    def test_multi_task_record(self, small_multi_task):
+        outcome = MultiTaskMechanism().run(small_multi_task)
+        record = outcome_to_dict(outcome)
+        assert record["setting"] == "multi"
+        assert set(record["achieved_pos"]) == {
+            str(t.task_id) for t in small_multi_task.tasks
+        }
+
+    def test_record_is_json_serialisable(self, small_multi_task):
+        outcome = MultiTaskMechanism().run(small_multi_task)
+        text = json.dumps(outcome_to_dict(outcome))
+        assert "contracts" in text
+
+
+from hypothesis import given, settings
+
+from ..conftest import multi_task_instances
+
+
+class TestPropertyRoundtrip:
+    @given(multi_task_instances(max_users=5, max_tasks=3))
+    @settings(max_examples=40, deadline=None)
+    def test_any_instance_roundtrips(self, instance):
+        rebuilt = instance_from_dict(instance_to_dict(instance))
+        assert rebuilt.n_users == instance.n_users
+        assert rebuilt.n_tasks == instance.n_tasks
+        for user in instance.users:
+            clone = rebuilt.user_by_id(user.user_id)
+            assert clone.cost == user.cost
+            assert dict(clone.pos) == pytest.approx(dict(user.pos))
+        for task in instance.tasks:
+            assert rebuilt.task_by_id(task.task_id).requirement == pytest.approx(
+                task.requirement
+            )

@@ -1,0 +1,140 @@
+"""Tests for the single-task mechanism (Algorithms 2 + 3, Theorems 1–3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import exhaustive_single_task
+from repro.core.errors import ValidationError
+from repro.core.rewards import expected_utility_single
+from repro.core.single_task import SingleTaskMechanism
+from repro.core.transforms import contribution_to_pos
+
+from ..conftest import make_random_single_task
+
+
+class TestConfiguration:
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ValidationError):
+            SingleTaskMechanism(alpha=0.0)
+
+    def test_defaults(self):
+        mech = SingleTaskMechanism()
+        assert mech.epsilon == 0.5
+        assert mech.alpha == 10.0
+
+
+class TestOutcome:
+    def test_winners_cover_requirement(self, small_single_task):
+        outcome = SingleTaskMechanism().run(small_single_task)
+        total = sum(
+            small_single_task.contributions[small_single_task.index_of(uid)]
+            for uid in outcome.winners
+        )
+        assert total >= small_single_task.requirement - 1e-9
+
+    def test_achieved_pos_meets_requirement(self, small_single_task):
+        outcome = SingleTaskMechanism().run(small_single_task)
+        required_pos = contribution_to_pos(small_single_task.requirement)
+        assert outcome.achieved_pos >= required_pos - 1e-9
+
+    def test_social_cost_matches_winner_costs(self, small_single_task):
+        outcome = SingleTaskMechanism().run(small_single_task)
+        assert outcome.social_cost == pytest.approx(
+            small_single_task.cost_of(outcome.winners)
+        )
+
+    def test_every_winner_has_a_contract(self, small_single_task):
+        outcome = SingleTaskMechanism().run(small_single_task)
+        assert set(outcome.rewards) == set(outcome.winners)
+
+    def test_skip_rewards_mode(self, small_single_task):
+        outcome = SingleTaskMechanism().run(small_single_task, compute_rewards=False)
+        assert outcome.rewards == {}
+        assert outcome.winners
+
+    def test_reward_of_accessor(self, small_single_task):
+        outcome = SingleTaskMechanism().run(small_single_task)
+        uid = min(outcome.winners)
+        assert outcome.reward_of(uid) is outcome.rewards[uid]
+
+    def test_contract_priced_at_critical_pos(self, small_single_task):
+        mech = SingleTaskMechanism(alpha=7.0)
+        outcome = mech.run(small_single_task)
+        for uid, contract in outcome.rewards.items():
+            assert contract.alpha == 7.0
+            assert contract.cost == pytest.approx(
+                small_single_task.costs[small_single_task.index_of(uid)]
+            )
+            # success/failure rewards follow the EC formulas
+            assert contract.success_reward == pytest.approx(
+                (1 - contract.critical_pos) * 7.0 + contract.cost
+            )
+            assert contract.failure_reward == pytest.approx(
+                -contract.critical_pos * 7.0 + contract.cost
+            )
+
+
+class TestEconomicProperties:
+    """Theorem 1 on concrete instances (full sweeps live in test_properties)."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_individual_rationality(self, seed):
+        rng = np.random.default_rng(seed)
+        instance = make_random_single_task(rng, n_users=8)
+        mech = SingleTaskMechanism(epsilon=0.5)
+        outcome = mech.run(instance)
+        for uid, contract in outcome.rewards.items():
+            true_pos = contribution_to_pos(
+                instance.contributions[instance.index_of(uid)]
+            )
+            utility = expected_utility_single(true_pos, contract.critical_pos, mech.alpha)
+            assert utility >= -1e-6
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_no_profitable_overstatement(self, seed):
+        """A winner cannot gain by inflating her declared PoS."""
+        rng = np.random.default_rng(50 + seed)
+        instance = make_random_single_task(rng, n_users=7)
+        mech = SingleTaskMechanism(epsilon=0.5)
+        outcome = mech.run(instance)
+        for uid in outcome.winners:
+            true_q = instance.contributions[instance.index_of(uid)]
+            true_pos = contribution_to_pos(true_q)
+            truthful_u = expected_utility_single(
+                true_pos, outcome.rewards[uid].critical_pos, mech.alpha
+            )
+            inflated = instance.with_contribution(uid, true_q * 2.0)
+            inflated_outcome = mech.run(inflated)
+            if uid in inflated_outcome.winners:
+                lying_u = expected_utility_single(
+                    true_pos, inflated_outcome.rewards[uid].critical_pos, mech.alpha
+                )
+                assert lying_u <= truthful_u + 1e-6
+
+    def test_losers_cannot_win_profitably(self, rng):
+        instance = make_random_single_task(rng, n_users=8)
+        mech = SingleTaskMechanism(epsilon=0.5)
+        outcome = mech.run(instance)
+        losers = set(instance.user_ids) - outcome.winners
+        for uid in list(losers)[:3]:
+            true_pos = contribution_to_pos(
+                instance.contributions[instance.index_of(uid)]
+            )
+            lying = instance.with_contribution(uid, instance.requirement)
+            lying_outcome = mech.run(lying)
+            if uid in lying_outcome.winners:
+                utility = expected_utility_single(
+                    true_pos, lying_outcome.rewards[uid].critical_pos, mech.alpha
+                )
+                assert utility <= 1e-6
+
+
+class TestApproximationQuality:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_cost_within_bound_of_opt(self, seed):
+        rng = np.random.default_rng(900 + seed)
+        instance = make_random_single_task(rng, n_users=9)
+        mech = SingleTaskMechanism(epsilon=0.25)
+        outcome = mech.run(instance, compute_rewards=False)
+        opt = exhaustive_single_task(instance)
+        assert outcome.social_cost <= 1.25 * opt.total_cost + 1e-9

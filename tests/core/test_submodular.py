@@ -1,0 +1,155 @@
+"""Tests for the coverage function and its submodularity (Definition 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.core.submodular import (
+    check_monotone,
+    check_submodular,
+    coverage,
+    coverage_units,
+    gamma_parameter,
+    greedy_approximation_bound,
+    harmonic,
+    marginal_coverage,
+)
+from repro.core.types import AuctionInstance, Task, UserType
+
+from ..conftest import make_random_multi_task
+
+
+class TestCoverage:
+    def test_empty_set_covers_nothing(self, small_multi_task):
+        assert coverage(small_multi_task, []) == 0.0
+
+    def test_full_set_capped_at_requirements(self, small_multi_task):
+        total_requirement = sum(
+            t.contribution_requirement for t in small_multi_task.tasks
+        )
+        full = coverage(small_multi_task, [u.user_id for u in small_multi_task.users])
+        assert full == pytest.approx(total_requirement)
+
+    def test_single_user_value(self, small_multi_task):
+        user = small_multi_task.user_by_id(1)
+        value = coverage(small_multi_task, [1])
+        expected = sum(
+            min(
+                small_multi_task.task_by_id(j).contribution_requirement,
+                user.contribution(j),
+            )
+            for j in user.task_set
+        )
+        assert value == pytest.approx(expected)
+
+    def test_units_normalisation(self, small_multi_task):
+        raw = coverage(small_multi_task, [1, 2])
+        assert coverage_units(small_multi_task, [1, 2], 0.1) == pytest.approx(raw / 0.1)
+
+    def test_units_bad_delta_rejected(self, small_multi_task):
+        with pytest.raises(ValidationError):
+            coverage_units(small_multi_task, [1], 0.0)
+
+
+class TestMarginalCoverage:
+    def test_equals_difference_of_coverages(self, small_multi_task):
+        user = small_multi_task.user_by_id(4)
+        for base in ([], [1], [1, 2], [1, 2, 3]):
+            direct = marginal_coverage(small_multi_task, base, user)
+            diff = coverage(small_multi_task, base + [4]) - coverage(
+                small_multi_task, base
+            )
+            assert direct == pytest.approx(diff)
+
+    def test_zero_once_requirements_met(self, small_multi_task):
+        everyone = [u.user_id for u in small_multi_task.users if u.user_id != 4]
+        # With enough coverage already, user 4 adds at most the tiny residual.
+        gain = marginal_coverage(
+            small_multi_task, everyone, small_multi_task.user_by_id(4)
+        )
+        residuals = sum(
+            max(
+                0.0,
+                small_multi_task.task_by_id(t.task_id).contribution_requirement
+                - sum(
+                    small_multi_task.user_by_id(uid).contribution(t.task_id)
+                    for uid in everyone
+                ),
+            )
+            for t in small_multi_task.tasks
+        )
+        assert gain <= residuals + 1e-9
+
+
+class TestSubmodularityProperties:
+    def test_small_instance_is_monotone_and_submodular(self, small_multi_task):
+        assert check_monotone(small_multi_task)
+        assert check_submodular(small_multi_task)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_instances(self, seed):
+        instance = make_random_multi_task(
+            np.random.default_rng(seed), n_users=6, n_tasks=3
+        )
+        assert check_monotone(instance)
+        assert check_submodular(instance)
+
+    def test_large_instance_requires_explicit_subsets(self):
+        instance = make_random_multi_task(
+            np.random.default_rng(0), n_users=12, n_tasks=3
+        )
+        with pytest.raises(ValidationError):
+            check_monotone(instance)
+        subsets = [frozenset(), frozenset({0}), frozenset({0, 1})]
+        assert check_monotone(instance, subsets)
+
+
+class TestHarmonic:
+    def test_base_cases(self):
+        assert harmonic(0) == 0.0
+        assert harmonic(1) == 1.0
+        assert harmonic(2) == pytest.approx(1.5)
+        assert harmonic(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            harmonic(-1)
+
+    def test_asymptotic_branch_continuous(self):
+        # The asymptotic expansion used above 10_000 must agree with the sum.
+        exact = sum(1.0 / i for i in range(1, 10_001))
+        assert harmonic(10_001) == pytest.approx(exact + 1.0 / 10_001, rel=1e-9)
+
+    def test_monotone(self):
+        values = [harmonic(x) for x in range(0, 50)]
+        assert values == sorted(values)
+
+
+class TestGamma:
+    def test_gamma_of_small_instance(self, small_multi_task):
+        gamma = gamma_parameter(small_multi_task, delta_q=0.1)
+        # User 4 has the largest capped contribution.
+        user = small_multi_task.user_by_id(4)
+        expected = sum(
+            min(
+                small_multi_task.task_by_id(j).contribution_requirement,
+                user.contribution(j),
+            )
+            for j in user.task_set
+        )
+        assert gamma == int(np.ceil(expected / 0.1 - 1e-12))
+
+    def test_gamma_scales_with_delta(self, small_multi_task):
+        coarse = gamma_parameter(small_multi_task, delta_q=0.5)
+        fine = gamma_parameter(small_multi_task, delta_q=0.05)
+        assert fine >= coarse
+
+    def test_bound_is_harmonic_of_gamma(self, small_multi_task):
+        gamma = gamma_parameter(small_multi_task, delta_q=0.1)
+        assert greedy_approximation_bound(small_multi_task, 0.1) == pytest.approx(
+            harmonic(max(1, gamma))
+        )
+
+    def test_bad_delta_rejected(self, small_multi_task):
+        with pytest.raises(ValidationError):
+            gamma_parameter(small_multi_task, 0.0)

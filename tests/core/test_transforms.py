@@ -1,0 +1,137 @@
+"""Tests for the PoS ↔ contribution transforms (paper, §II)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.transforms import (
+    MAX_CONTRIBUTION,
+    achieved_pos,
+    aggregate_pos,
+    contribution_to_pos,
+    pos_to_contribution,
+    quantize_contribution,
+    units_of_contribution,
+)
+
+
+class TestPosToContribution:
+    def test_zero_pos_contributes_nothing(self):
+        assert pos_to_contribution(0.0) == 0.0
+
+    def test_paper_requirement_value(self):
+        # T = 0.8 -> Q = -ln(0.2)
+        assert pos_to_contribution(0.8) == pytest.approx(-math.log(0.2))
+
+    def test_certain_user_is_capped_not_infinite(self):
+        q = pos_to_contribution(1.0)
+        assert math.isfinite(q)
+        assert q == pytest.approx(MAX_CONTRIBUTION)
+
+    def test_negative_noise_clamped_to_zero(self):
+        assert pos_to_contribution(-1e-15) == 0.0
+
+    def test_above_one_clamped(self):
+        assert pos_to_contribution(1.5) == pytest.approx(MAX_CONTRIBUTION)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            pos_to_contribution(float("nan"))
+
+    def test_monotone_increasing(self):
+        values = [pos_to_contribution(p / 100) for p in range(0, 100)]
+        assert values == sorted(values)
+
+
+class TestContributionToPos:
+    def test_zero(self):
+        assert contribution_to_pos(0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            contribution_to_pos(-0.1)
+
+    @given(st.floats(min_value=0.0, max_value=0.999999, allow_nan=False))
+    def test_roundtrip(self, pos):
+        assert contribution_to_pos(pos_to_contribution(pos)) == pytest.approx(
+            pos, abs=1e-9
+        )
+
+    @given(st.floats(min_value=0.0, max_value=25.0, allow_nan=False))
+    def test_inverse_roundtrip(self, q):
+        # Beyond MAX_CONTRIBUTION (~27.6) the transform saturates by design,
+        # so the roundtrip is only exact below the cap.
+        assert pos_to_contribution(contribution_to_pos(q)) == pytest.approx(q, rel=1e-6, abs=1e-9)
+
+    def test_roundtrip_saturates_beyond_cap(self):
+        assert pos_to_contribution(contribution_to_pos(100.0)) == pytest.approx(
+            MAX_CONTRIBUTION
+        )
+
+
+class TestAggregatePos:
+    def test_empty_is_zero(self):
+        assert aggregate_pos([]) == 0.0
+
+    def test_two_coins(self):
+        # P(at least one of two fair coins) = 0.75
+        assert aggregate_pos([0.5, 0.5]) == pytest.approx(0.75)
+
+    def test_paper_example_pair(self):
+        # users 1 and 2 with PoS 0.7 jointly achieve 0.91 >= 0.9
+        assert aggregate_pos([0.7, 0.7]) == pytest.approx(0.91)
+
+    def test_one_certain_user_dominates(self):
+        assert aggregate_pos([1.0, 0.1]) == pytest.approx(1.0, abs=1e-9)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=0.99), min_size=1, max_size=6))
+    def test_matches_product_formula(self, pos_values):
+        expected = 1.0
+        for p in pos_values:
+            expected *= 1.0 - p
+        assert aggregate_pos(pos_values) == pytest.approx(1.0 - expected, abs=1e-9)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=0.99), min_size=1, max_size=5),
+        st.floats(min_value=0.0, max_value=0.99),
+    )
+    def test_adding_a_user_never_hurts(self, pos_values, extra):
+        assert aggregate_pos(pos_values + [extra]) >= aggregate_pos(pos_values) - 1e-12
+
+
+class TestAchievedPos:
+    def test_matches_aggregate(self):
+        pos_values = [0.3, 0.5, 0.2]
+        contributions = [pos_to_contribution(p) for p in pos_values]
+        assert achieved_pos(contributions) == pytest.approx(aggregate_pos(pos_values))
+
+    def test_negative_contribution_rejected(self):
+        with pytest.raises(ValueError):
+            achieved_pos([-0.5])
+
+
+class TestQuantization:
+    def test_rounds_down(self):
+        assert quantize_contribution(0.37, 0.1) == pytest.approx(0.3)
+
+    def test_exact_multiple_is_preserved(self):
+        assert quantize_contribution(0.4, 0.1) == pytest.approx(0.4)
+
+    def test_units(self):
+        assert units_of_contribution(0.37, 0.1) == 3
+        assert units_of_contribution(0.4, 0.1) == 4
+
+    def test_zero_delta_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_contribution(0.3, 0.0)
+        with pytest.raises(ValueError):
+            units_of_contribution(0.3, -0.1)
+
+    @given(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    )
+    def test_quantized_never_exceeds_original(self, q, delta):
+        assert quantize_contribution(q, delta) <= q + 1e-9

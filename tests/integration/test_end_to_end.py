@@ -1,0 +1,130 @@
+"""End-to-end integration: trace → model → workload → auction → execution.
+
+Walks the full Figure-1 pipeline on the shared testbed and checks the
+cross-module invariants that no unit test can see: the auction's winners
+actually deliver the PoS the requirement demands (verified by Monte-Carlo
+execution), settled rewards match contracts, and the platform's books add
+up.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.auction import CrowdsensingAuction
+from repro.core.multi_task import MultiTaskMechanism
+from repro.core.single_task import SingleTaskMechanism
+from repro.core.transforms import contribution_to_pos
+from repro.core.types import Task, UserType
+from repro.simulation.engine import ExecutionSimulator, empirical_task_pos
+
+
+class TestSingleTaskPipeline:
+    def test_full_pipeline(self, testbed):
+        generated = testbed.generator.single_task_instance(30, seed=100)
+        instance = generated.instance
+        mechanism = SingleTaskMechanism(tolerance=1e-6)
+        outcome = mechanism.run(instance)
+
+        # Allocation covers the requirement.
+        assert outcome.achieved_pos >= contribution_to_pos(instance.requirement) - 1e-9
+
+        # Execute many times: empirical completion rate matches the analytic
+        # achieved PoS, and is above the requirement.
+        simulator = ExecutionSimulator(seed=0)
+        completions = sum(
+            simulator.simulate_single(instance, outcome).task_completed[0]
+            for _ in range(3000)
+        )
+        rate = completions / 3000
+        assert rate == pytest.approx(outcome.achieved_pos, abs=0.03)
+        assert rate >= testbed.generator.config.pos_requirement - 0.05
+
+    def test_reward_settlement_books_balance(self, testbed):
+        generated = testbed.generator.single_task_instance(25, seed=101)
+        outcome = SingleTaskMechanism(tolerance=1e-6).run(generated.instance)
+        result = ExecutionSimulator(seed=1).simulate_single(generated.instance, outcome)
+        assert result.platform_spend == pytest.approx(
+            sum(result.rewards_paid.values())
+        )
+        for uid, utility in result.utilities.items():
+            cost = generated.instance.costs[generated.instance.index_of(uid)]
+            assert utility == pytest.approx(result.rewards_paid[uid] - cost)
+
+    def test_expected_utility_realised_on_average(self, testbed):
+        """Average realised utility converges to the analytic (p − p̄)α."""
+        generated = testbed.generator.single_task_instance(25, seed=102)
+        instance = generated.instance
+        mechanism = SingleTaskMechanism(tolerance=1e-8)
+        outcome = mechanism.run(instance)
+        uid = min(outcome.winners)
+        true_pos = contribution_to_pos(instance.contributions[instance.index_of(uid)])
+        expected = (true_pos - outcome.rewards[uid].critical_pos) * mechanism.alpha
+
+        simulator = ExecutionSimulator(seed=2)
+        realised = [
+            simulator.simulate_single(instance, outcome).utilities[uid]
+            for _ in range(4000)
+        ]
+        assert float(np.mean(realised)) == pytest.approx(expected, abs=0.25)
+
+
+class TestMultiTaskPipeline:
+    def test_full_pipeline(self, testbed):
+        generated = testbed.generator.multi_task_instance(30, 12, seed=103)
+        instance = generated.instance
+        outcome = MultiTaskMechanism().run(instance)
+
+        # Analytic achieved PoS meets the requirement for every task.
+        for task in instance.tasks:
+            assert outcome.achieved_pos[task.task_id] >= task.requirement - 1e-9
+
+        # Monte-Carlo execution agrees with the analytic values.
+        empirical = empirical_task_pos(instance, outcome.winners, n_trials=4000, seed=3)
+        for task in instance.tasks:
+            assert empirical[task.task_id] == pytest.approx(
+                outcome.achieved_pos[task.task_id], abs=0.04
+            )
+
+    def test_winner_reward_consistency(self, testbed):
+        generated = testbed.generator.multi_task_instance(25, 10, seed=104)
+        outcome = MultiTaskMechanism().run(generated.instance)
+        result = ExecutionSimulator(seed=4).simulate_multi(generated.instance, outcome)
+        for uid in outcome.winners:
+            contract = outcome.rewards[uid]
+            paid = result.rewards_paid[uid]
+            assert paid in (
+                pytest.approx(contract.success_reward),
+                pytest.approx(contract.failure_reward),
+            )
+
+
+class TestAuctionFacadePipeline:
+    def test_facade_equals_direct_mechanism(self, testbed):
+        """Clearing through the façade matches running the mechanism directly."""
+        generated = testbed.generator.multi_task_instance(20, 8, seed=105)
+        instance = generated.instance
+
+        auction = CrowdsensingAuction(instance.tasks, alpha=10.0)
+        for user in instance.users:
+            auction.submit_bid(user)
+        facade_outcome = auction.clear(compute_rewards=False)
+
+        direct_outcome = MultiTaskMechanism().run(instance, compute_rewards=False)
+        assert facade_outcome.winners == direct_outcome.winners
+        assert facade_outcome.social_cost == pytest.approx(direct_outcome.social_cost)
+
+    def test_minimal_handwritten_campaign(self):
+        """A tiny readable campaign exercising every step of Figure 1."""
+        tasks = [Task(0, 0.75), Task(1, 0.6)]
+        auction = CrowdsensingAuction(tasks, alpha=8.0)
+        auction.submit_bid(UserType(1, cost=2.0, pos={0: 0.5, 1: 0.3}))
+        auction.submit_bid(UserType(2, cost=1.0, pos={0: 0.4}))
+        auction.submit_bid(UserType(3, cost=1.5, pos={1: 0.6}))
+        auction.submit_bid(UserType(4, cost=2.5, pos={0: 0.6, 1: 0.5}))
+        outcome = auction.clear()
+
+        assert outcome.winners
+        for task in tasks:
+            assert outcome.achieved_pos[task.task_id] >= task.requirement - 1e-9
+        for contract in outcome.rewards.values():
+            assert contract.success_reward > contract.failure_reward

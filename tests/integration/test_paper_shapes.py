@@ -1,0 +1,207 @@
+"""Shape assertions from the paper's evaluation narrative (§IV).
+
+Each test pins one sentence of the paper's results discussion to a
+small-scale reproduction on the shared testbed.  Absolute numbers differ
+(our substrate is synthetic); the *orderings and trends* must hold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    min_greedy_single_task,
+    optimal_multi_task,
+    optimal_single_task,
+    st_vcg,
+)
+from repro.core.fptas import fptas_min_knapsack
+from repro.core.multi_task import MultiTaskMechanism
+from repro.core.rewards import expected_utility_multi, expected_utility_single
+from repro.core.single_task import SingleTaskMechanism
+from repro.core.transforms import contribution_to_pos
+
+
+class TestFig5aNarrative:
+    """'Even with eps = 0.5 our mechanism works as good as the OPT, and
+    strictly better than the Greedy algorithm.'"""
+
+    def test_fptas_within_few_percent_of_opt(self, testbed):
+        ratios = []
+        for rep in range(4):
+            instance = testbed.generator.single_task_instance(50, seed=200 + rep).instance
+            fptas = fptas_min_knapsack(instance, 0.5)
+            opt = optimal_single_task(instance)
+            ratios.append(fptas.total_cost / opt.total_cost)
+        assert float(np.mean(ratios)) <= 1.05
+
+    def test_fptas_beats_min_greedy_on_average(self, testbed):
+        fptas_costs, greedy_costs = [], []
+        for rep in range(4):
+            instance = testbed.generator.single_task_instance(50, seed=210 + rep).instance
+            fptas_costs.append(fptas_min_knapsack(instance, 0.5).total_cost)
+            greedy_costs.append(min_greedy_single_task(instance).total_cost)
+        assert float(np.mean(fptas_costs)) <= float(np.mean(greedy_costs)) + 1e-9
+
+    def test_cost_decreases_then_stabilises(self, testbed):
+        """Social cost falls sharply with the first users, then flattens."""
+        costs = []
+        for n in (20, 50, 80):
+            per_seed = [
+                fptas_min_knapsack(
+                    testbed.generator.single_task_instance(n, seed=220 + r).instance, 0.5
+                ).total_cost
+                for r in range(3)
+            ]
+            costs.append(float(np.mean(per_seed)))
+        assert costs[1] <= costs[0] + 1e-9
+        drop_first = costs[0] - costs[1]
+        drop_second = abs(costs[1] - costs[2])
+        assert drop_second <= drop_first + 5.0  # flattening, with sampling slack
+
+
+class TestFig5bNarrative:
+    """'Social cost decreases as the number of users increases ... the
+    social costs given by our mechanism are relatively close to the optimal.'"""
+
+    def test_greedy_close_to_opt(self, testbed):
+        mechanism = MultiTaskMechanism()
+        ratios = []
+        for rep in range(3):
+            generated = testbed.generator.multi_task_instance(30, 10, seed=230 + rep)
+            outcome = mechanism.run(generated.instance, compute_rewards=False)
+            opt = optimal_multi_task(generated.instance)
+            ratios.append(outcome.social_cost / opt.total_cost)
+        assert float(np.mean(ratios)) <= 1.35
+
+    def test_cost_falls_with_more_users(self, testbed):
+        mechanism = MultiTaskMechanism()
+
+        def mean_cost(n):
+            return float(
+                np.mean(
+                    [
+                        mechanism.run(
+                            testbed.generator.multi_task_instance(
+                                n, 10, seed=240 + r
+                            ).instance,
+                            compute_rewards=False,
+                        ).social_cost
+                        for r in range(3)
+                    ]
+                )
+            )
+
+        assert mean_cost(60) <= mean_cost(15) + 1e-9
+
+
+class TestFig6Narrative:
+    """'All the selected users have non-negative expected utilities' and
+    multi-task utilities are mostly higher than single-task ones."""
+
+    def test_nonnegative_utilities_both_settings(self, testbed):
+        single_mech = SingleTaskMechanism(tolerance=1e-6)
+        generated = testbed.generator.single_task_instance(30, seed=250)
+        outcome = single_mech.run(generated.instance)
+        instance = generated.instance
+        single_utils = [
+            expected_utility_single(
+                contribution_to_pos(instance.contributions[instance.index_of(uid)]),
+                outcome.rewards[uid].critical_pos,
+                single_mech.alpha,
+            )
+            for uid in outcome.winners
+        ]
+        assert all(u >= -1e-6 for u in single_utils)
+
+        multi_mech = MultiTaskMechanism()
+        generated_m = testbed.generator.multi_task_instance(30, 12, seed=251)
+        outcome_m = multi_mech.run(generated_m.instance)
+        multi_utils = [
+            expected_utility_multi(
+                generated_m.instance.user_by_id(uid).total_contribution(),
+                outcome_m.rewards[uid].critical_contribution,
+                multi_mech.alpha,
+            )
+            for uid in outcome_m.winners
+        ]
+        assert all(u >= -1e-6 for u in multi_utils)
+
+    def test_multi_task_utilities_stochastically_higher(self, testbed):
+        """Multi-task winners succeed on *any* bundle task, so their success
+        probability — and hence expected utility — tends to be higher."""
+        single_mech = SingleTaskMechanism(tolerance=1e-6)
+        multi_mech = MultiTaskMechanism()
+        single_utils, multi_utils = [], []
+        for rep in range(2):
+            g_s = testbed.generator.single_task_instance(30, seed=260 + rep)
+            o_s = single_mech.run(g_s.instance)
+            single_utils += [
+                expected_utility_single(
+                    contribution_to_pos(
+                        g_s.instance.contributions[g_s.instance.index_of(uid)]
+                    ),
+                    o_s.rewards[uid].critical_pos,
+                    single_mech.alpha,
+                )
+                for uid in o_s.winners
+            ]
+            g_m = testbed.generator.multi_task_instance(30, 12, seed=262 + rep)
+            o_m = multi_mech.run(g_m.instance)
+            multi_utils += [
+                expected_utility_multi(
+                    g_m.instance.user_by_id(uid).total_contribution(),
+                    o_m.rewards[uid].critical_contribution,
+                    multi_mech.alpha,
+                )
+                for uid in o_m.winners
+            ]
+        assert float(np.mean(multi_utils)) >= float(np.mean(single_utils))
+
+
+class TestFig7Narrative:
+    """'The actual PoS's achieved by VCG mechanisms are lower than the
+    required ones, especially in the single task setting.'"""
+
+    def test_st_vcg_misses_requirement_badly(self, testbed):
+        generated = testbed.generator.single_task_instance(40, seed=270)
+        instance = generated.instance
+        vcg = st_vcg(instance)
+        achieved = contribution_to_pos(
+            sum(instance.contributions[instance.index_of(uid)] for uid in vcg.selected)
+        )
+        required = testbed.generator.config.pos_requirement
+        assert achieved < required
+        # 'especially in the single task setting': a single low-PoS user.
+        assert achieved < 0.6 * required
+
+    def test_ours_meets_requirement(self, testbed):
+        generated = testbed.generator.single_task_instance(40, seed=270)
+        result = fptas_min_knapsack(generated.instance, 0.5)
+        achieved = contribution_to_pos(result.contribution)
+        assert achieved >= testbed.generator.config.pos_requirement - 1e-9
+
+
+class TestFig8And9Narrative:
+    """'The number of users required grows with the PoS requirement,
+    increasing fast when PoS requirements are high' (and cost follows)."""
+
+    def test_superlinear_growth_at_high_requirement(self, testbed):
+        counts = []
+        for T in (0.5, 0.7, 0.9):
+            per_seed = []
+            for rep in range(2):
+                generated = testbed.generator.single_task_instance(
+                    60, requirement=T, seed=280 + rep
+                )
+                per_seed.append(len(fptas_min_knapsack(generated.instance, 0.5).selected))
+            counts.append(float(np.mean(per_seed)))
+        assert counts[0] <= counts[1] <= counts[2]
+
+    def test_cost_tracks_selection_count(self, testbed):
+        costs, counts = [], []
+        for T in (0.5, 0.9):
+            generated = testbed.generator.single_task_instance(60, requirement=T, seed=290)
+            result = fptas_min_knapsack(generated.instance, 0.5)
+            costs.append(result.total_cost)
+            counts.append(len(result.selected))
+        assert (costs[1] >= costs[0]) == (counts[1] >= counts[0])

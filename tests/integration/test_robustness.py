@@ -1,0 +1,178 @@
+"""Robustness and invariance tests: the properties unit tests miss.
+
+* **Permutation invariance** — relabelling or reordering users must not
+  change the social cost (winner identities may differ only across exact
+  ties).
+* **Scale invariance** — multiplying every cost by a constant scales the
+  social cost by the same constant and preserves the winner set.
+* **Adversarial shapes** — near-ties, duplicated users, extreme
+  contribution magnitudes, and degenerate single-winner markets.
+* **Determinism** — repeated runs are bit-identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fptas import fptas_min_knapsack
+from repro.core.greedy import greedy_allocation
+from repro.core.multi_task import MultiTaskMechanism
+from repro.core.transforms import MAX_CONTRIBUTION
+from repro.core.types import AuctionInstance, SingleTaskInstance, Task, UserType
+
+from ..conftest import make_random_multi_task, make_random_single_task
+
+
+def permuted_single(instance: SingleTaskInstance, rng) -> SingleTaskInstance:
+    order = rng.permutation(instance.n_users)
+    return SingleTaskInstance(
+        instance.requirement,
+        tuple(instance.user_ids[i] for i in order),
+        tuple(instance.costs[i] for i in order),
+        tuple(instance.contributions[i] for i in order),
+    )
+
+
+class TestPermutationInvariance:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_fptas_cost_invariant_under_reordering(self, seed):
+        rng = np.random.default_rng(seed)
+        instance = make_random_single_task(rng, n_users=10)
+        base = fptas_min_knapsack(instance, 0.5)
+        for _ in range(3):
+            shuffled = permuted_single(instance, rng)
+            again = fptas_min_knapsack(shuffled, 0.5)
+            assert again.total_cost == pytest.approx(base.total_cost, abs=1e-9)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_greedy_winners_invariant_under_user_order(self, seed):
+        instance = make_random_multi_task(
+            np.random.default_rng(seed), n_users=8, n_tasks=3
+        )
+        base = greedy_allocation(instance, require_feasible=False)
+        reversed_instance = AuctionInstance(instance.tasks, tuple(reversed(instance.users)))
+        again = greedy_allocation(reversed_instance, require_feasible=False)
+        # Greedy keys on user ids, not list positions: identical selections.
+        assert base.selected == again.selected
+
+
+class TestScaleInvariance:
+    @pytest.mark.parametrize("factor", [0.1, 3.0, 100.0])
+    def test_fptas_scales_with_costs(self, factor, rng):
+        instance = make_random_single_task(rng, n_users=9)
+        scaled = SingleTaskInstance(
+            instance.requirement,
+            instance.user_ids,
+            tuple(c * factor for c in instance.costs),
+            instance.contributions,
+        )
+        base = fptas_min_knapsack(instance, 0.5)
+        again = fptas_min_knapsack(scaled, 0.5)
+        assert again.selected == base.selected
+        assert again.total_cost == pytest.approx(base.total_cost * factor, rel=1e-9)
+
+    @pytest.mark.parametrize("factor", [0.5, 2.0, 10.0])
+    def test_greedy_scales_with_costs(self, factor):
+        instance = make_random_multi_task(np.random.default_rng(3), n_users=8, n_tasks=3)
+        scaled = AuctionInstance(
+            instance.tasks,
+            [u.with_cost(u.cost * factor) for u in instance.users],
+        )
+        base = greedy_allocation(instance, require_feasible=False)
+        again = greedy_allocation(scaled, require_feasible=False)
+        assert base.selected == again.selected
+
+
+class TestAdversarialShapes:
+    def test_identical_users_tie_broken_by_id(self):
+        instance = SingleTaskInstance(
+            requirement=1.0,
+            user_ids=(5, 2, 9),
+            costs=(3.0, 3.0, 3.0),
+            contributions=(1.1, 1.1, 1.1),
+        )
+        result = fptas_min_knapsack(instance, 0.5)
+        assert len(result.selected) == 1  # one identical user suffices
+
+    def test_near_tie_costs_stable(self):
+        """Costs differing at 1e-12 must not crash or oscillate."""
+        instance = SingleTaskInstance(
+            requirement=0.5,
+            user_ids=(1, 2),
+            costs=(1.0, 1.0 + 1e-12),
+            contributions=(0.6, 0.6),
+        )
+        a = fptas_min_knapsack(instance, 0.5)
+        b = fptas_min_knapsack(instance, 0.5)
+        assert a.selected == b.selected
+
+    def test_extreme_contribution_magnitudes(self):
+        """A capped near-certain user next to near-zero contributors.
+
+        The optimum is {1} at cost 10; cheap users can ride along in
+        subproblems where their cost scales to 0, so the FPTAS may return
+        cost 12 — still within its (1+ε) guarantee, and user 1 (the only
+        one who can cover the requirement) must always be selected.
+        """
+        instance = SingleTaskInstance(
+            requirement=2.0,
+            user_ids=(1, 2, 3),
+            costs=(10.0, 1.0, 1.0),
+            contributions=(MAX_CONTRIBUTION, 1e-9, 1e-9),
+        )
+        result = fptas_min_knapsack(instance, 0.5)
+        assert 1 in result.selected
+        assert result.total_cost <= 1.5 * 10.0 + 1e-9
+
+    def test_greedy_with_single_capable_user(self):
+        instance = AuctionInstance(
+            [Task(0, 0.5)],
+            [
+                UserType(1, cost=5.0, pos={0: 0.9}),
+                UserType(2, cost=0.1, pos={0: 0.0}),  # zero PoS: useless
+            ],
+        )
+        trace = greedy_allocation(instance)
+        assert trace.selected == (1,)
+
+    def test_many_tasks_one_user_each(self):
+        """A diagonal market: user j covers exactly task j."""
+        n = 12
+        tasks = [Task(j, 0.5) for j in range(n)]
+        users = [UserType(j, cost=1.0 + j * 0.1, pos={j: 0.7}) for j in range(n)]
+        instance = AuctionInstance(tasks, users)
+        trace = greedy_allocation(instance)
+        assert trace.selected_set == {u.user_id for u in users}
+
+    def test_huge_requirement_capped_contributions(self):
+        """Requirement just below the aggregate cap still solvable."""
+        instance = SingleTaskInstance(
+            requirement=3 * MAX_CONTRIBUTION * 0.99,
+            user_ids=(1, 2, 3),
+            costs=(1.0, 1.0, 1.0),
+            contributions=(MAX_CONTRIBUTION,) * 3,
+        )
+        result = fptas_min_knapsack(instance, 0.5)
+        assert result.selected == frozenset({1, 2, 3})
+
+
+class TestDeterminism:
+    def test_full_multi_task_pipeline_bit_identical(self, small_multi_task):
+        mech = MultiTaskMechanism()
+        a = mech.run(small_multi_task)
+        b = mech.run(small_multi_task)
+        assert a.winners == b.winners
+        assert a.social_cost == b.social_cost
+        for uid in a.winners:
+            assert a.rewards[uid].critical_contribution == (
+                b.rewards[uid].critical_contribution
+            )
+
+    def test_generator_instances_stable_across_processes(self, testbed):
+        """Seeded generation must not depend on dict/set iteration order."""
+        a = testbed.generator.multi_task_instance(15, 8, seed=77)
+        b = testbed.generator.multi_task_instance(15, 8, seed=77)
+        assert a.task_cells == b.task_cells
+        assert [u.cost for u in a.instance.users] == [u.cost for u in b.instance.users]
+        assert [dict(u.pos) for u in a.instance.users] == [
+            dict(u.pos) for u in b.instance.users
+        ]

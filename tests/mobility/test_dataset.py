@@ -1,0 +1,99 @@
+"""Tests for dataset assembly: records → sequences → train/test splits."""
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.mobility.dataset import (
+    TraceDataset,
+    sequences_from_records,
+    split_sequences,
+)
+from repro.mobility.grid import CityGrid
+from repro.mobility.records import EventType, TraceRecord
+
+
+def make_records(grid):
+    """Taxi 0 bounces between two cells; taxi 1 sits in one cell."""
+    cell_a = grid.center_of(100)
+    cell_b = grid.center_of(101)
+    records = []
+    for i in range(6):
+        lon, lat = cell_a if i % 2 == 0 else cell_b
+        records.append(TraceRecord(0, float(i * 100), lon, lat, EventType.PICKUP))
+    lon, lat = cell_a
+    for i in range(4):
+        records.append(TraceRecord(1, float(i * 50), lon, lat, EventType.DROPOFF))
+    return records
+
+
+class TestSequences:
+    def test_sequence_cells(self):
+        grid = CityGrid()
+        sequences = sequences_from_records(make_records(grid), grid)
+        assert sequences[0] == [100, 101, 100, 101, 100, 101]
+
+    def test_consecutive_duplicates_collapsed(self):
+        grid = CityGrid()
+        sequences = sequences_from_records(make_records(grid), grid)
+        assert sequences[1] == [100]  # all four events in the same cell
+
+    def test_orders_by_timestamp(self):
+        grid = CityGrid()
+        lon_a, lat_a = grid.center_of(100)
+        lon_b, lat_b = grid.center_of(101)
+        records = [
+            TraceRecord(0, 200.0, lon_b, lat_b, EventType.PICKUP),
+            TraceRecord(0, 100.0, lon_a, lat_a, EventType.PICKUP),
+        ]
+        sequences = sequences_from_records(records, grid)
+        assert sequences[0] == [100, 101]
+
+    def test_empty_input(self):
+        assert sequences_from_records([], CityGrid()) == {}
+
+
+class TestSplit:
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValidationError):
+            split_sequences({0: [1, 2, 3]}, train_fraction=0.0)
+        with pytest.raises(ValidationError):
+            split_sequences({0: [1, 2, 3]}, train_fraction=1.0)
+
+    def test_split_counts(self):
+        sequences = {0: list(range(10))}
+        train, held_out = split_sequences(sequences, train_fraction=0.8)
+        assert len(train[0]) == 8
+        # test tail overlaps one element: transitions 7->8, 8->9
+        assert len(held_out) == 2
+
+    def test_held_out_pairs_are_true_transitions(self):
+        sequences = {0: [1, 2, 3, 4, 5]}
+        train, held_out = split_sequences(sequences, train_fraction=0.6)
+        for pair in held_out:
+            idx = sequences[0].index(pair.current_cell)
+            assert sequences[0][idx + 1] == pair.next_cell
+
+    def test_train_prefix_preserved(self):
+        sequences = {0: [9, 8, 7, 6, 5]}
+        train, _ = split_sequences(sequences, train_fraction=0.6)
+        assert train[0] == [9, 8, 7]
+
+    def test_minimum_training_prefix(self):
+        """Even tiny sequences keep at least two training elements."""
+        train, held_out = split_sequences({0: [1, 2, 3]}, train_fraction=0.1)
+        assert len(train[0]) >= 2
+
+
+class TestTraceDataset:
+    def test_from_records(self):
+        grid = CityGrid()
+        dataset = TraceDataset.from_records(make_records(grid), grid)
+        assert dataset.n_taxis == 2
+        assert dataset.n_transitions == 5  # taxi 0 only (taxi 1 collapsed)
+
+    def test_split_is_consistent(self):
+        grid = CityGrid()
+        dataset = TraceDataset.from_records(make_records(grid), grid, train_fraction=0.5)
+        total_train = sum(len(s) for s in dataset.train.values())
+        assert total_train >= 2
+        assert all(p.taxi_id in dataset.sequences for p in dataset.held_out)

@@ -1,0 +1,75 @@
+"""Tests for the ASCII heatmap renderer."""
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.mobility.grid import CityGrid
+from repro.mobility.heatmap import SHADES, render_heatmap
+
+
+@pytest.fixture
+def grid():
+    return CityGrid()
+
+
+class TestRendering:
+    def test_row_count_matches_grid(self, grid):
+        rendering = render_heatmap(grid, {0: 1.0}, max_width=200, legend=False)
+        assert len(rendering.splitlines()) == grid.n_rows
+
+    def test_peak_cell_gets_max_shade(self, grid):
+        cell = 5 * grid.n_cols + 5
+        rendering = render_heatmap(grid, {cell: 10.0}, max_width=200, legend=False)
+        assert SHADES[-1] in rendering
+
+    def test_relative_intensity(self, grid):
+        hot = 5 * grid.n_cols + 5
+        mild = 5 * grid.n_cols + 10
+        rendering = render_heatmap(
+            grid, {hot: 10.0, mild: 1.0}, max_width=200, legend=False
+        )
+        lines = rendering.splitlines()
+        row_line = lines[grid.n_rows - 1 - 5]  # north-first rendering
+        assert row_line[5] == SHADES[-1]
+        assert row_line[10] != SHADES[-1]
+        assert row_line[10] != SHADES[0]
+
+    def test_north_at_top(self, grid):
+        south = 2  # row 0
+        north = (grid.n_rows - 1) * grid.n_cols + 2
+        rendering = render_heatmap(
+            grid, {south: 1.0, north: 1.0}, max_width=200, legend=False
+        )
+        lines = rendering.splitlines()
+        assert SHADES[-1] in lines[0]  # north row renders first
+        assert SHADES[-1] in lines[-1]
+
+    def test_downsampling_fits_width(self, grid):
+        rendering = render_heatmap(grid, {0: 1.0}, max_width=20, legend=False)
+        assert all(len(line) <= 20 for line in rendering.splitlines())
+
+    def test_legend_appended(self, grid):
+        rendering = render_heatmap(grid, {0: 3.0}, legend=True)
+        assert "0..3" in rendering.splitlines()[-1]
+
+    def test_empty_rejected(self, grid):
+        with pytest.raises(ValidationError):
+            render_heatmap(grid, {})
+
+    def test_out_of_grid_cell_rejected(self, grid):
+        with pytest.raises(ValidationError):
+            render_heatmap(grid, {grid.n_cells: 1.0})
+
+    def test_renders_fleet_popularity(self):
+        """Integration: popularity of a synthetic fleet renders non-trivially."""
+        from repro.mobility.analytics import cell_popularity
+        from repro.mobility.synthetic import FleetConfig, SyntheticTaxiFleet
+
+        grid = CityGrid()
+        fleet = SyntheticTaxiFleet(
+            grid, FleetConfig(n_taxis=10, events_per_taxi=40), seed=1
+        )
+        popularity = dict(cell_popularity(fleet.generate_records(), grid, top=10_000))
+        rendering = render_heatmap(grid, popularity, max_width=60)
+        shaded = sum(1 for ch in rendering if ch in SHADES[1:])
+        assert shaded > 0

@@ -1,0 +1,188 @@
+"""Tests for the Markov mobility model and its smoothing variants (§IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.mobility.markov import MarkovMobilityModel
+
+
+SEQUENCES = {
+    0: [10, 11, 10, 12, 10, 11, 10, 11, 12, 10],
+    1: [5, 6, 5, 6, 5, 6, 5],
+    2: [3],  # too short to learn from
+}
+
+
+@pytest.fixture
+def model():
+    return MarkovMobilityModel.from_sequences(SEQUENCES)
+
+
+class TestFitting:
+    def test_short_sequences_skipped(self, model):
+        assert 2 not in model.taxi_ids
+        assert set(model.taxi_ids) == {0, 1}
+
+    def test_locations_sorted_unique(self, model):
+        assert model.known_locations(0) == (10, 11, 12)
+
+    def test_counts_match_observations(self, model):
+        taxi = model.model_for(0)
+        idx = {cell: i for i, cell in enumerate(taxi.locations)}
+        # transitions from 10: ->11 three times, ->12 once
+        assert taxi.counts[idx[10], idx[11]] == 3
+        assert taxi.counts[idx[10], idx[12]] == 1
+
+    def test_unknown_taxi_raises(self, model):
+        with pytest.raises(KeyError):
+            model.model_for(99)
+
+    def test_bad_smoothing_rejected(self):
+        with pytest.raises(ValidationError):
+            MarkovMobilityModel(smoothing="bogus")
+
+
+class TestLaplaceSmoothing:
+    def test_rows_sum_to_one(self, model):
+        matrix = model.transition_matrix(0)
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+
+    def test_no_zero_probabilities(self, model):
+        assert np.all(model.transition_matrix(0) > 0)
+
+    def test_formula(self, model):
+        # P(11 | 10) = (x+1)/(total+l) = (3+1)/(4+3)
+        assert model.transition_prob(0, 10, 11) == pytest.approx(4 / 7)
+
+    def test_unseen_transition_gets_pseudocount(self, model):
+        # 11 -> 12 was observed once; 12 -> 11 never. Laplace gives it mass.
+        assert model.transition_prob(0, 12, 11) > 0
+
+
+class TestPaperSmoothing:
+    def test_paper_formula(self):
+        model = MarkovMobilityModel.from_sequences(SEQUENCES, smoothing="paper")
+        # P(11 | 10) = x/(total+l) = 3/(4+3)
+        assert model.transition_prob(0, 10, 11) == pytest.approx(3 / 7)
+
+    def test_rows_do_not_sum_to_one(self):
+        """The paper's literal formula leaks mass — documented deviation."""
+        model = MarkovMobilityModel.from_sequences(SEQUENCES, smoothing="paper")
+        assert model.transition_matrix(0).sum(axis=1).max() < 1.0
+
+    def test_unseen_transition_stays_zero(self):
+        model = MarkovMobilityModel.from_sequences(SEQUENCES, smoothing="paper")
+        assert model.transition_prob(0, 12, 11) == 0.0
+
+
+class TestMleSmoothing:
+    def test_observed_rows_exact(self):
+        model = MarkovMobilityModel.from_sequences(SEQUENCES, smoothing="mle")
+        assert model.transition_prob(0, 10, 11) == pytest.approx(3 / 4)
+
+    def test_unobserved_row_uniform(self):
+        # Location 12 for taxi 0 only appears followed by 10; but consider a
+        # taxi whose last location has no outgoing transition.
+        model = MarkovMobilityModel.from_sequences({0: [1, 2]}, smoothing="mle")
+        # 2 is terminal: row unobserved -> uniform over 2 locations.
+        assert model.transition_prob(0, 2, 1) == pytest.approx(0.5)
+
+
+class TestQueries:
+    def test_unknown_current_cell_uniform(self, model):
+        probs = model.transition_probs(0, 999)
+        assert set(probs) == {10, 11, 12}
+        assert all(p == pytest.approx(1 / 3) for p in probs.values())
+
+    def test_prob_for_foreign_location_zero(self, model):
+        assert model.transition_prob(0, 10, 555) == 0.0
+
+    def test_predict_top_ranks_by_probability(self, model):
+        top = model.predict_top(0, 10, 2)
+        assert top[0] == 11  # most frequent successor of 10
+
+    def test_predict_top_m_larger_than_support(self, model):
+        top = model.predict_top(0, 10, 50)
+        assert len(top) == 3
+
+    def test_predict_top_deterministic_ties(self, model):
+        # With uniform fallback all probabilities tie: order must be by id.
+        top = model.predict_top(0, 999, 3)
+        assert top == [10, 11, 12]
+
+    def test_predict_bad_m_rejected(self, model):
+        with pytest.raises(ValidationError):
+            model.predict_top(0, 10, 0)
+
+    def test_pos_profile_is_transition_probs(self, model):
+        assert model.pos_profile(0, 10) == model.transition_probs(0, 10)
+
+
+class TestLearningAccuracy:
+    def test_recovers_ground_truth_with_enough_data(self):
+        """MLE estimates converge to the generating chain."""
+        rng = np.random.default_rng(0)
+        truth = np.array([[0.7, 0.3], [0.2, 0.8]])
+        cells = [100, 200]
+        state = 0
+        seq = [cells[state]]
+        for _ in range(20_000):
+            state = rng.choice(2, p=truth[state])
+            seq.append(cells[state])
+        model = MarkovMobilityModel.from_sequences({0: seq}, smoothing="mle")
+        assert model.transition_prob(0, 100, 200) == pytest.approx(0.3, abs=0.02)
+        assert model.transition_prob(0, 200, 200) == pytest.approx(0.8, abs=0.02)
+
+
+class TestPersistence:
+    def test_dict_roundtrip(self, model):
+        clone = MarkovMobilityModel.from_dict(model.to_dict())
+        assert clone.taxi_ids == model.taxi_ids
+        assert clone.smoothing == model.smoothing
+        for taxi_id in model.taxi_ids:
+            np.testing.assert_array_equal(
+                clone.transition_matrix(taxi_id), model.transition_matrix(taxi_id)
+            )
+
+    def test_file_roundtrip(self, model, tmp_path):
+        path = tmp_path / "model.json"
+        model.save(path)
+        clone = MarkovMobilityModel.load(path)
+        assert clone.transition_prob(0, 10, 11) == pytest.approx(
+            model.transition_prob(0, 10, 11)
+        )
+
+    def test_predictions_survive_roundtrip(self, model):
+        clone = MarkovMobilityModel.from_dict(model.to_dict())
+        assert clone.predict_top(0, 10, 3) == model.predict_top(0, 10, 3)
+        assert clone.reach_profile(0, 10, 4) == pytest.approx(
+            model.reach_profile(0, 10, 4)
+        )
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(ValidationError):
+            MarkovMobilityModel.from_dict({"schema": 2, "kind": "markov_mobility_model"})
+        with pytest.raises(ValidationError):
+            MarkovMobilityModel.from_dict({"schema": 1, "kind": "something"})
+
+    def test_shape_mismatch_rejected(self, model):
+        payload = model.to_dict()
+        first = next(iter(payload["taxis"].values()))
+        first["counts"] = [[0.0]]
+        with pytest.raises(ValidationError):
+            MarkovMobilityModel.from_dict(payload)
+
+    def test_negative_counts_rejected(self, model):
+        payload = model.to_dict()
+        first = next(iter(payload["taxis"].values()))
+        first["counts"][0][0] = -1.0
+        with pytest.raises(ValidationError):
+            MarkovMobilityModel.from_dict(payload)
+
+    def test_reloaded_model_keeps_learning_semantics(self, model):
+        """Counts (not probabilities) persist: smoothing can be switched."""
+        payload = model.to_dict()
+        payload["smoothing"] = "mle"
+        clone = MarkovMobilityModel.from_dict(payload)
+        assert clone.transition_prob(0, 10, 11) == pytest.approx(3 / 4)

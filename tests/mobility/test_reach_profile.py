@@ -1,0 +1,99 @@
+"""Tests for multi-step reach probabilities (hitting-probability DP)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.mobility.markov import MarkovMobilityModel
+
+
+@pytest.fixture
+def two_state_model():
+    """A chain learned from a long two-location sequence."""
+    rng = np.random.default_rng(0)
+    truth = np.array([[0.7, 0.3], [0.4, 0.6]])
+    cells = [10, 20]
+    state = 0
+    sequence = [cells[0]]
+    for _ in range(30_000):
+        state = int(rng.choice(2, p=truth[state]))
+        sequence.append(cells[state])
+    return MarkovMobilityModel.from_sequences({0: sequence}, smoothing="mle")
+
+
+class TestBasics:
+    def test_horizon_one_equals_transition_probs(self, two_state_model):
+        reach = two_state_model.reach_profile(0, 10, horizon=1)
+        step = two_state_model.transition_probs(0, 10)
+        for cell in (10, 20):
+            assert reach[cell] == pytest.approx(step[cell])
+
+    def test_bad_horizon_rejected(self, two_state_model):
+        with pytest.raises(ValidationError):
+            two_state_model.reach_profile(0, 10, horizon=0)
+
+    def test_probabilities_in_range(self, two_state_model):
+        for horizon in (1, 2, 5, 20):
+            reach = two_state_model.reach_profile(0, 10, horizon)
+            assert all(0.0 <= p <= 1.0 for p in reach.values())
+
+    def test_monotone_in_horizon(self, two_state_model):
+        """Reaching within a longer window is never less likely."""
+        previous = two_state_model.reach_profile(0, 10, 1)
+        for horizon in (2, 3, 4, 8):
+            current = two_state_model.reach_profile(0, 10, horizon)
+            for cell in previous:
+                assert current[cell] >= previous[cell] - 1e-12
+            previous = current
+
+    def test_approaches_one_for_recurrent_chain(self, two_state_model):
+        """An irreducible chain visits every state eventually."""
+        reach = two_state_model.reach_profile(0, 10, horizon=60)
+        assert reach[20] == pytest.approx(1.0, abs=1e-3)
+
+    def test_unknown_current_cell_averages(self, two_state_model):
+        reach = two_state_model.reach_profile(0, 999, horizon=3)
+        from_10 = two_state_model.reach_profile(0, 10, 3)
+        from_20 = two_state_model.reach_profile(0, 20, 3)
+        for cell in (10, 20):
+            assert reach[cell] == pytest.approx(0.5 * (from_10[cell] + from_20[cell]))
+
+
+class TestAgainstClosedForm:
+    def test_two_step_hand_computed(self, two_state_model):
+        """P(visit 20 within 2 | at 10) = p12 + p11*p12 on the learned chain."""
+        p = two_state_model.transition_matrix(0)
+        # index 0 <-> cell 10, index 1 <-> cell 20 (sorted locations)
+        expected = p[0, 1] + p[0, 0] * p[0, 1]
+        reach = two_state_model.reach_profile(0, 10, 2)
+        assert reach[20] == pytest.approx(expected, rel=1e-9)
+
+    def test_self_reach_two_step(self, two_state_model):
+        """P(return to 10 within 2 | at 10) = p11 + p12*p21."""
+        p = two_state_model.transition_matrix(0)
+        expected = p[0, 0] + p[0, 1] * p[1, 0]
+        reach = two_state_model.reach_profile(0, 10, 2)
+        assert reach[10] == pytest.approx(expected, rel=1e-9)
+
+
+class TestAgainstMonteCarlo:
+    def test_matches_simulation_three_states(self):
+        rng = np.random.default_rng(1)
+        sequence = list(rng.choice([1, 2, 3], size=8000, p=[0.5, 0.3, 0.2]))
+        model = MarkovMobilityModel.from_sequences({0: sequence})
+        matrix = model.transition_matrix(0)
+        locations = model.known_locations(0)
+        horizon = 4
+        reach = model.reach_profile(0, locations[0], horizon)
+
+        n_trials = 100_000
+        states = np.zeros(n_trials, dtype=int)
+        visited = np.zeros((n_trials, len(locations)), dtype=bool)
+        for _ in range(horizon):
+            uniforms = rng.random(n_trials)
+            cumulative = matrix[states].cumsum(axis=1)
+            states = (uniforms[:, None] < cumulative).argmax(axis=1)
+            visited[np.arange(n_trials), states] = True
+        empirical = visited.mean(axis=0)
+        for index, cell in enumerate(locations):
+            assert reach[cell] == pytest.approx(empirical[index], abs=0.01)

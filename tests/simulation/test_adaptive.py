@@ -1,0 +1,123 @@
+"""Tests for adaptive multi-round campaigns with Bayesian PoS learning."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.core.types import AuctionInstance, Task, UserType
+from repro.simulation.adaptive import AdaptiveCampaign, BetaBelief, PosLearner
+
+
+def make_truth():
+    """A well-covered 2-task market (every winner gets repeatedly selected)."""
+    tasks = [Task(0, 0.7), Task(1, 0.7)]
+    users = [
+        UserType(1, cost=2.0, pos={0: 0.6, 1: 0.5}),
+        UserType(2, cost=1.5, pos={0: 0.5}),
+        UserType(3, cost=1.8, pos={1: 0.6}),
+        UserType(4, cost=2.5, pos={0: 0.4, 1: 0.4}),
+    ]
+    return AuctionInstance(tasks, users)
+
+
+def inflate(instance, factor=1.6):
+    """Everyone inflates declared PoS (in contribution space)."""
+    return AuctionInstance(
+        instance.tasks,
+        [u.with_scaled_contributions(factor) for u in instance.users],
+    )
+
+
+class TestBetaBelief:
+    def test_mean(self):
+        assert BetaBelief(2.0, 2.0).mean == pytest.approx(0.5)
+        assert BetaBelief(3.0, 1.0).mean == pytest.approx(0.75)
+
+    def test_observe_success_raises_mean(self):
+        belief = BetaBelief(1.0, 1.0)
+        belief.observe(True)
+        assert belief.mean > 0.5
+
+    def test_observe_failure_lowers_mean(self):
+        belief = BetaBelief(1.0, 1.0)
+        belief.observe(False)
+        assert belief.mean < 0.5
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            BetaBelief(0.0, 1.0)
+
+
+class TestPosLearner:
+    def test_prior_mean_is_declaration(self):
+        learner = PosLearner(make_truth(), prior_strength=2.0)
+        assert learner.estimate(1, 0) == pytest.approx(0.6)
+        assert learner.estimate(2, 0) == pytest.approx(0.5)
+
+    def test_estimated_instance_shape(self):
+        learner = PosLearner(make_truth())
+        estimated = learner.estimated_instance()
+        assert estimated.n_users == 4
+        assert estimated.user_by_id(1).task_set == {0, 1}
+        assert estimated.user_by_id(1).cost == 2.0
+
+    def test_mae_zero_at_truthful_prior(self):
+        truth = make_truth()
+        learner = PosLearner(truth)
+        assert learner.mean_absolute_error(truth) == pytest.approx(0.0, abs=1e-9)
+
+    def test_mae_positive_for_inflated_prior(self):
+        truth = make_truth()
+        learner = PosLearner(inflate(truth))
+        assert learner.mean_absolute_error(truth) > 0.05
+
+    def test_bad_prior_strength_rejected(self):
+        with pytest.raises(ValidationError):
+            PosLearner(make_truth(), prior_strength=0.0)
+
+
+class TestAdaptiveCampaign:
+    def test_history_grows(self):
+        campaign = AdaptiveCampaign(make_truth(), seed=1)
+        campaign.run(5)
+        assert len(campaign.history) == 5
+        assert [r.round_index for r in campaign.history] == list(range(5))
+
+    def test_bad_round_count_rejected(self):
+        with pytest.raises(ValidationError):
+            AdaptiveCampaign(make_truth()).run(0)
+
+    def test_mismatched_users_rejected(self):
+        truth = make_truth()
+        declared = AuctionInstance(truth.tasks, truth.users[:-1])
+        with pytest.raises(ValidationError):
+            AdaptiveCampaign(truth, declared_instance=declared)
+
+    def test_learning_corrects_inflated_declarations(self):
+        """The headline property: the posterior converges toward the truth."""
+        truth = make_truth()
+        campaign = AdaptiveCampaign(
+            truth,
+            declared_instance=inflate(truth),
+            prior_strength=2.0,
+            seed=3,
+        )
+        campaign.run(60)
+        history = campaign.history
+        assert len(history) >= 40  # most rounds feasible
+        early = np.mean([r.estimate_error for r in history[:5]])
+        late = np.mean([r.estimate_error for r in history[-5:]])
+        assert late < early * 0.6, (early, late)
+
+    def test_truthful_prior_stays_accurate(self):
+        truth = make_truth()
+        campaign = AdaptiveCampaign(truth, prior_strength=20.0, seed=4)
+        campaign.run(20)
+        assert campaign.history[-1].estimate_error < 0.15
+
+    def test_records_carry_round_metrics(self):
+        campaign = AdaptiveCampaign(make_truth(), seed=5)
+        record = campaign.run_round()
+        assert record.social_cost > 0
+        assert 0.0 <= record.completion_fraction <= 1.0
+        assert record.outcome.winners

@@ -1,0 +1,131 @@
+"""Tests for the campaign lifecycle orchestrator."""
+
+import pytest
+
+from repro.core.cost_verification import CostVerifier
+from repro.core.errors import ValidationError
+from repro.core.types import AuctionInstance, Task, UserType
+from repro.simulation.campaign import Campaign, SettlementLedger
+
+
+def make_truth():
+    tasks = [Task(0, 0.7), Task(1, 0.7)]
+    users = [
+        UserType(1, cost=2.0, pos={0: 0.6, 1: 0.5}),
+        UserType(2, cost=1.5, pos={0: 0.5}),
+        UserType(3, cost=1.8, pos={1: 0.6}),
+        UserType(4, cost=2.5, pos={0: 0.4, 1: 0.4}),
+    ]
+    return AuctionInstance(tasks, users)
+
+
+def make_single_task_truth():
+    return AuctionInstance(
+        [Task(0, 0.8)],
+        [
+            UserType(1, cost=2.0, pos={0: 0.6}),
+            UserType(2, cost=1.5, pos={0: 0.5}),
+            UserType(3, cost=3.0, pos={0: 0.7}),
+        ],
+    )
+
+
+class TestLedger:
+    def test_positive_payments_spend(self):
+        ledger = SettlementLedger(budget=100.0)
+        ledger.record({1: 10.0, 2: 5.0})
+        assert ledger.spent == pytest.approx(15.0)
+        assert ledger.remaining == pytest.approx(85.0)
+
+    def test_fines_flow_back(self):
+        ledger = SettlementLedger(budget=100.0)
+        ledger.record({1: 10.0, 2: -4.0})
+        assert ledger.fines_collected == pytest.approx(4.0)
+        assert ledger.remaining == pytest.approx(94.0)
+
+    def test_round_counter(self):
+        ledger = SettlementLedger(budget=10.0)
+        ledger.record({})
+        ledger.record({})
+        assert ledger.rounds_settled == 2
+
+
+class TestCampaignSetup:
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ValidationError):
+            Campaign(make_truth(), budget=0.0)
+
+    def test_mismatched_instances_rejected(self):
+        truth = make_truth()
+        declared = AuctionInstance(truth.tasks, truth.users[:-1])
+        with pytest.raises(ValidationError):
+            Campaign(truth, declared_instance=declared)
+
+
+class TestRunRound:
+    def test_round_produces_record(self):
+        campaign = Campaign(make_truth(), budget=500.0, seed=1)
+        record = campaign.run_round()
+        assert record.outcome.winners
+        assert set(record.payments) == set(record.outcome.winners)
+        assert record.archive["kind"] == "auction_outcome"
+        assert 0 <= record.tasks_completed <= 2
+
+    def test_single_task_dispatch(self):
+        campaign = Campaign(make_single_task_truth(), budget=500.0, seed=1)
+        record = campaign.run_round()
+        assert record.archive["setting"] == "single"
+
+    def test_truthful_users_never_flagged(self):
+        campaign = Campaign(make_truth(), budget=500.0, seed=2)
+        for _ in range(5):
+            record = campaign.run_round()
+            assert record.flagged_users == frozenset()
+
+    def test_cost_inflators_flagged_and_fined(self):
+        truth = make_truth()
+        declared = AuctionInstance(
+            truth.tasks,
+            [u.with_cost(u.cost * 1.5) for u in truth.users],  # +50% declared
+        )
+        campaign = Campaign(
+            truth,
+            declared_instance=declared,
+            budget=500.0,
+            verifier=CostVerifier(tolerance=0.1, fine_rate=2.0),
+            seed=3,
+        )
+        record = campaign.run_round()
+        assert record.flagged_users == record.outcome.winners
+        for uid in record.flagged_users:
+            assert record.payments[uid] < 0  # fined
+
+    def test_ledger_tracks_spend(self):
+        campaign = Campaign(make_truth(), budget=500.0, seed=4)
+        record = campaign.run_round()
+        positive = sum(p for p in record.payments.values() if p > 0)
+        assert campaign.ledger.spent == pytest.approx(positive)
+
+    def test_budget_guard_blocks_unaffordable_round(self):
+        campaign = Campaign(make_truth(), budget=1.0, seed=5)
+        with pytest.raises(ValidationError):
+            campaign.run_round()
+
+
+class TestRunLoop:
+    def test_runs_requested_rounds(self):
+        campaign = Campaign(make_truth(), budget=10_000.0, seed=6)
+        history = campaign.run(8)
+        assert len(history) == 8
+        assert campaign.ledger.rounds_settled == 8
+
+    def test_stops_cleanly_on_budget_exhaustion(self):
+        campaign = Campaign(make_truth(), budget=60.0, seed=7)
+        history = campaign.run(100)
+        assert 0 < len(history) < 100
+        # The guard never let spend exceed what fines replenished.
+        assert campaign.ledger.remaining > -1e-9
+
+    def test_bad_round_count_rejected(self):
+        with pytest.raises(ValidationError):
+            Campaign(make_truth()).run(0)

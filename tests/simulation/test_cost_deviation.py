@@ -1,0 +1,102 @@
+"""Tests for the cost-misreport study (paper §III-A assumption, §VI future work)."""
+
+import pytest
+
+from repro.core.cost_verification import CostVerifier
+from repro.core.single_task import SingleTaskMechanism
+from repro.simulation.strategic import (
+    cost_deviation_sweep_single,
+    paper_example_instance,
+)
+
+MECHANISM = SingleTaskMechanism(epsilon=0.1, tolerance=1e-8)
+
+
+class TestSweepStructure:
+    def test_one_point_per_factor(self, small_single_task):
+        factors = (0.8, 1.0, 1.3)
+        points = cost_deviation_sweep_single(small_single_task, 0, MECHANISM, factors)
+        assert [p.cost_factor for p in points] == list(factors)
+
+    def test_losers_earn_zero(self, small_single_task):
+        points = cost_deviation_sweep_single(
+            small_single_task, 0, MECHANISM, (5.0,)
+        )
+        if not points[0].wins:
+            assert points[0].expected_utility_unaudited == 0.0
+            assert points[0].expected_utility_audited == 0.0
+
+
+class TestWhyVerificationMatters:
+    """Without audits, mild cost inflation can be profitable; with audits
+    (the paper's §III-A assumption made concrete) it never is."""
+
+    def _winner_with_slack(self, instance):
+        """A truthful winner the sweeps can inflate without losing."""
+        outcome = MECHANISM.run(instance)
+        return min(outcome.winners)
+
+    def test_unaudited_inflation_profitable_when_still_winning(self, small_single_task):
+        uid = self._winner_with_slack(small_single_task)
+        points = cost_deviation_sweep_single(
+            small_single_task, uid, MECHANISM, (1.0, 1.02, 1.05, 1.1, 1.3)
+        )
+        truthful = points[0].expected_utility_unaudited
+        winning_lies = [
+            p for p in points[1:] if p.wins and p.expected_utility_unaudited > truthful + 1e-9
+        ]
+        # The additive +c_declared term makes SOME winning inflation pay.
+        assert winning_lies, "expected at least one profitable unaudited inflation"
+
+    def test_audited_inflation_never_profitable(self, small_single_task):
+        uid = self._winner_with_slack(small_single_task)
+        verifier = CostVerifier(tolerance=0.0, fine_rate=2.0)
+        points = cost_deviation_sweep_single(
+            small_single_task, uid, MECHANISM, (1.0, 1.02, 1.05, 1.1, 1.3, 2.0),
+            verifier=verifier,
+        )
+        truthful = points[0].expected_utility_audited
+        # 1e-6 slack: truthful utility carries binary-search tolerance noise.
+        for point in points[1:]:
+            assert point.expected_utility_audited <= truthful + 1e-6
+
+    def test_truthful_declaration_passes_audit_unchanged(self, small_single_task):
+        uid = self._winner_with_slack(small_single_task)
+        points = cost_deviation_sweep_single(
+            small_single_task, uid, MECHANISM, (1.0,), verifier=CostVerifier()
+        )
+        assert points[0].expected_utility_audited == pytest.approx(
+            points[0].expected_utility_unaudited
+        )
+
+    def test_tolerant_audit_allows_small_slack(self, small_single_task):
+        """Within the audit tolerance, inflation survives (a knowing trade-off)."""
+        uid = self._winner_with_slack(small_single_task)
+        lenient = CostVerifier(tolerance=0.2, fine_rate=2.0)
+        points = cost_deviation_sweep_single(
+            small_single_task, uid, MECHANISM, (1.1,), verifier=lenient
+        )
+        if points[0].wins:
+            assert points[0].expected_utility_audited == pytest.approx(
+                points[0].expected_utility_unaudited
+            )
+
+
+class TestPaperExample:
+    def test_overstating_prices_you_out(self):
+        """User 2 (cost 2) who doubles her declared cost loses the auction."""
+        instance = paper_example_instance()
+        points = cost_deviation_sweep_single(instance, 2, MECHANISM, (1.0, 2.0))
+        assert points[0].wins
+        assert not points[1].wins
+
+    def test_understating_reduces_utility(self):
+        """Declaring below cost shrinks the +c term: never beneficial."""
+        instance = paper_example_instance()
+        points = cost_deviation_sweep_single(instance, 2, MECHANISM, (0.7, 1.0))
+        truthful = points[1]
+        understated = points[0]
+        if understated.wins and truthful.wins:
+            assert understated.expected_utility_unaudited <= (
+                truthful.expected_utility_unaudited + 1e-9
+            )

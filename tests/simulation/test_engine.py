@@ -1,0 +1,184 @@
+"""Tests for the execution simulator and Monte-Carlo PoS estimates."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.core.multi_task import MultiTaskMechanism
+from repro.core.single_task import SingleTaskMechanism
+from repro.core.transforms import aggregate_pos
+from repro.simulation.engine import ExecutionSimulator, empirical_task_pos
+
+from ..conftest import make_random_single_task
+
+
+class TestSimulateSingle:
+    def test_results_cover_winners(self, small_single_task):
+        outcome = SingleTaskMechanism().run(small_single_task)
+        result = ExecutionSimulator(seed=1).simulate_single(small_single_task, outcome)
+        assert set(result.user_success) == set(outcome.winners)
+        assert set(result.rewards_paid) == set(outcome.winners)
+
+    def test_rewards_match_contracts(self, small_single_task):
+        outcome = SingleTaskMechanism().run(small_single_task)
+        result = ExecutionSimulator(seed=2).simulate_single(small_single_task, outcome)
+        for uid, paid in result.rewards_paid.items():
+            contract = outcome.rewards[uid]
+            expected = (
+                contract.success_reward
+                if result.user_success[uid]
+                else contract.failure_reward
+            )
+            assert paid == pytest.approx(expected)
+
+    def test_task_completed_iff_any_success(self, small_single_task):
+        outcome = SingleTaskMechanism().run(small_single_task)
+        result = ExecutionSimulator(seed=3).simulate_single(small_single_task, outcome)
+        assert result.task_completed[0] == any(result.user_success.values())
+
+    def test_platform_spend_sums_rewards(self, small_single_task):
+        outcome = SingleTaskMechanism().run(small_single_task)
+        result = ExecutionSimulator(seed=4).simulate_single(small_single_task, outcome)
+        assert result.platform_spend == pytest.approx(sum(result.rewards_paid.values()))
+
+    def test_seeded_reproducibility(self, small_single_task):
+        outcome = SingleTaskMechanism().run(small_single_task)
+        a = ExecutionSimulator(seed=7).simulate_single(small_single_task, outcome)
+        b = ExecutionSimulator(seed=7).simulate_single(small_single_task, outcome)
+        assert a.user_success == b.user_success
+
+    def test_certain_user_always_succeeds(self):
+        instance = make_random_single_task(np.random.default_rng(0), 5)
+        # Force one user's PoS to ~1 and make sure she always succeeds.
+        instance = instance.with_contribution(0, 20.0)
+        outcome = SingleTaskMechanism().run(instance)
+        if 0 in outcome.winners:
+            for seed in range(5):
+                result = ExecutionSimulator(seed=seed).simulate_single(instance, outcome)
+                assert result.user_success[0]
+
+    def test_long_run_success_rate_matches_pos(self, small_single_task):
+        outcome = SingleTaskMechanism().run(small_single_task)
+        uid = min(outcome.winners)
+        from repro.core.transforms import contribution_to_pos
+
+        pos = contribution_to_pos(
+            small_single_task.contributions[small_single_task.index_of(uid)]
+        )
+        simulator = ExecutionSimulator(seed=11)
+        successes = sum(
+            simulator.simulate_single(small_single_task, outcome).user_success[uid]
+            for _ in range(3000)
+        )
+        assert successes / 3000 == pytest.approx(pos, abs=0.03)
+
+
+class TestSimulateMulti:
+    def test_user_success_means_any_task(self, small_multi_task):
+        outcome = MultiTaskMechanism().run(small_multi_task)
+        result = ExecutionSimulator(seed=1).simulate_multi(small_multi_task, outcome)
+        assert set(result.user_success) == set(outcome.winners)
+
+    def test_task_completion_consistent_with_user_success(self, small_multi_task):
+        outcome = MultiTaskMechanism().run(small_multi_task)
+        result = ExecutionSimulator(seed=2).simulate_multi(small_multi_task, outcome)
+        # A task can only be completed if some winner had it in her bundle.
+        for task_id, done in result.task_completed.items():
+            if done:
+                assert any(
+                    task_id in small_multi_task.user_by_id(uid).task_set
+                    for uid in outcome.winners
+                )
+
+    def test_user_without_success_fails_all_tasks(self, small_multi_task):
+        outcome = MultiTaskMechanism().run(small_multi_task)
+        simulator = ExecutionSimulator(seed=3)
+        for _ in range(20):
+            result = simulator.simulate_multi(small_multi_task, outcome)
+            for uid, ok in result.user_success.items():
+                if not ok:
+                    assert result.rewards_paid[uid] == pytest.approx(
+                        outcome.rewards[uid].failure_reward
+                    )
+
+    def test_all_tasks_completed_flag(self, small_multi_task):
+        outcome = MultiTaskMechanism().run(small_multi_task)
+        result = ExecutionSimulator(seed=4).simulate_multi(small_multi_task, outcome)
+        assert result.all_tasks_completed == all(result.task_completed.values())
+
+
+class TestEmpiricalTaskPos:
+    def test_matches_analytic(self, small_multi_task):
+        outcome = MultiTaskMechanism().run(small_multi_task, compute_rewards=False)
+        empirical = empirical_task_pos(
+            small_multi_task, outcome.winners, n_trials=20_000, seed=5
+        )
+        for task in small_multi_task.tasks:
+            analytic = aggregate_pos(
+                small_multi_task.user_by_id(uid).pos[task.task_id]
+                for uid in outcome.winners
+                if task.task_id in small_multi_task.user_by_id(uid).task_set
+            )
+            assert empirical[task.task_id] == pytest.approx(analytic, abs=0.02)
+
+    def test_no_winners_zero(self, small_multi_task):
+        empirical = empirical_task_pos(small_multi_task, frozenset(), n_trials=100)
+        assert all(v == 0.0 for v in empirical.values())
+
+    def test_bad_trials_rejected(self, small_multi_task):
+        with pytest.raises(ValidationError):
+            empirical_task_pos(small_multi_task, frozenset(), n_trials=0)
+
+
+class TestAttemptRecording:
+    """The multi-task simulator exposes raw per-(winner, task) outcomes."""
+
+    def test_attempt_keys_cover_winner_bundles(self, small_multi_task):
+        outcome = MultiTaskMechanism().run(small_multi_task)
+        result = ExecutionSimulator(seed=9).simulate_multi(small_multi_task, outcome)
+        expected_keys = {
+            (uid, task_id)
+            for uid in outcome.winners
+            for task_id in small_multi_task.user_by_id(uid).task_set
+        }
+        assert set(result.attempts) == expected_keys
+
+    def test_user_success_is_or_of_attempts(self, small_multi_task):
+        outcome = MultiTaskMechanism().run(small_multi_task)
+        result = ExecutionSimulator(seed=10).simulate_multi(small_multi_task, outcome)
+        for uid in outcome.winners:
+            any_success = any(
+                success
+                for (attempt_uid, _), success in result.attempts.items()
+                if attempt_uid == uid
+            )
+            assert result.user_success[uid] == any_success
+
+    def test_task_completed_is_or_over_attempting_winners(self, small_multi_task):
+        outcome = MultiTaskMechanism().run(small_multi_task)
+        result = ExecutionSimulator(seed=11).simulate_multi(small_multi_task, outcome)
+        for task in small_multi_task.tasks:
+            any_success = any(
+                success
+                for (_, task_id), success in result.attempts.items()
+                if task_id == task.task_id
+            )
+            assert result.task_completed[task.task_id] == any_success
+
+    def test_single_task_attempts_empty(self, small_single_task):
+        outcome = SingleTaskMechanism().run(small_single_task)
+        result = ExecutionSimulator(seed=12).simulate_single(small_single_task, outcome)
+        assert result.attempts == {}
+
+    def test_attempt_rates_match_pos(self, small_multi_task):
+        """Long-run per-attempt success frequency equals the true PoS."""
+        outcome = MultiTaskMechanism().run(small_multi_task)
+        simulator = ExecutionSimulator(seed=13)
+        uid = min(outcome.winners)
+        task_id = min(small_multi_task.user_by_id(uid).task_set)
+        true_pos = small_multi_task.user_by_id(uid).pos[task_id]
+        successes = sum(
+            simulator.simulate_multi(small_multi_task, outcome).attempts[(uid, task_id)]
+            for _ in range(4000)
+        )
+        assert successes / 4000 == pytest.approx(true_pos, abs=0.03)

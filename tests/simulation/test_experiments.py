@@ -1,0 +1,213 @@
+"""Small-scale runs of every experiment driver.
+
+These tests exercise the drivers end-to-end at reduced sizes and assert the
+*shape* facts the paper reports (orderings, monotone trends) rather than
+absolute numbers.  The shared session testbed keeps them fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simulation.experiments import (
+    build_testbed,
+    run_ablation_delta_q,
+    run_ablation_epsilon,
+    run_ablation_smoothing,
+    run_fig3,
+    run_fig4,
+    run_fig5a,
+    run_fig5b,
+    run_fig5c,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+)
+
+
+@pytest.fixture(scope="module")
+def citywide():
+    return build_testbed(n_taxis=120, seed=7, kind="citywide", events_per_taxi=200)
+
+
+class TestTestbed:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            build_testbed(kind="suburban")
+
+    def test_components_wired(self, testbed):
+        assert testbed.model.taxi_ids
+        assert testbed.generator.model is testbed.model
+
+
+class TestFig3(object):
+    def test_rows_and_monotonicity(self, citywide):
+        result = run_fig3(citywide)
+        assert result.headers == ("m", "accuracy")
+        accuracies = result.column("accuracy")
+        assert all(a <= b + 1e-12 for a, b in zip(accuracies, accuracies[1:]))
+
+    def test_accuracy_at_9_near_paper(self, citywide):
+        """Paper: ~0.9 at m = 9.  Allow a generous band for the small fleet."""
+        result = run_fig3(citywide)
+        assert 0.8 <= result.extras["accuracy_at_9"] <= 1.0
+
+    def test_to_table_renders(self, citywide):
+        table = run_fig3(citywide).to_table()
+        assert "accuracy" in table and "[fig3]" in table
+
+
+class TestFig4:
+    def test_density_integrates_to_one(self, citywide):
+        result = run_fig4(citywide, bins=20)
+        densities = result.column("density")
+        assert sum(d * (1.0 / 20) for d in densities) == pytest.approx(1.0, abs=1e-6)
+
+    def test_mass_concentrated_low(self, citywide):
+        """Paper: most predicted PoS fall in [0, 0.2]."""
+        result = run_fig4(citywide)
+        assert result.extras["fraction_below_0.2"] >= 0.75
+
+
+class TestFig5a:
+    def test_orderings(self, testbed):
+        result = run_fig5a(testbed, n_users_list=(20, 40, 60), repeats=2)
+        for n, fptas, opt, greedy in result.rows:
+            assert opt <= fptas + 1e-9  # OPT is a lower bound
+            assert fptas <= (1 + 0.5) * opt + 1e-9  # Theorem 2 at eps=0.5
+            assert opt <= greedy + 1e-9
+
+    def test_fptas_close_to_opt_in_practice(self, testbed):
+        """Paper: at eps=0.5 the FPTAS 'works as good as the OPT'."""
+        result = run_fig5a(testbed, n_users_list=(40,), repeats=3)
+        _, fptas, opt, _ = result.rows[0]
+        assert fptas <= 1.1 * opt
+
+
+class TestFig5bAnd5c:
+    def test_5b_greedy_vs_opt(self, testbed):
+        result = run_fig5b(testbed, n_users_list=(20, 40), n_tasks=10, repeats=2)
+        for _, greedy, opt in result.rows:
+            assert opt <= greedy + 1e-9
+
+    def test_5b_cost_decreases_with_competition(self, testbed):
+        """Paper: social cost falls as the market grows."""
+        result = run_fig5b(testbed, n_users_list=(15, 60), n_tasks=10, repeats=3)
+        first = result.rows[0][1]
+        last = result.rows[-1][1]
+        assert last <= first
+
+    def test_5c_cost_increases_with_tasks(self, testbed):
+        result = run_fig5c(testbed, n_tasks_list=(10, 25), n_users=30, repeats=2)
+        assert result.rows[0][1] <= result.rows[-1][1]
+
+
+class TestFig6:
+    def test_all_utilities_nonnegative(self, testbed):
+        """Paper: the CDF starts at utility >= 0 (individual rationality)."""
+        result = run_fig6(
+            testbed,
+            single_task_runs=2,
+            single_task_users=25,
+            multi_task_users=25,
+            multi_task_tasks=12,
+        )
+        assert result.extras["min_single"] >= -1e-6
+        assert result.extras["min_multi"] >= -1e-6
+
+    def test_cdf_structure(self, testbed):
+        result = run_fig6(
+            testbed,
+            single_task_runs=2,
+            single_task_users=25,
+            multi_task_users=25,
+            multi_task_tasks=12,
+        )
+        for setting in ("single", "multi"):
+            cdf = [row[2] for row in result.rows if row[0] == setting]
+            assert cdf == sorted(cdf)
+            assert cdf[-1] == pytest.approx(1.0)
+
+
+class TestFig7:
+    def test_our_mechanisms_meet_requirement(self, testbed):
+        result = run_fig7(testbed, n_users=30, n_tasks=12, repeats=2)
+        rows = {row[0]: row for row in result.rows}
+        assert rows["single/ours"][2] >= rows["single/ours"][1] - 1e-9
+        assert rows["multi/ours"][2] >= rows["multi/ours"][1] - 0.05
+
+    def test_vcg_baselines_underprovision(self, testbed):
+        """Paper: the VCG-like mechanisms miss the PoS requirement."""
+        result = run_fig7(testbed, n_users=30, n_tasks=12, repeats=2)
+        rows = {row[0]: row for row in result.rows}
+        assert rows["single/ST-VCG"][2] < rows["single/ST-VCG"][1]
+        assert rows["multi/MT-VCG"][2] < rows["multi/ours"][2]
+
+
+class TestFig8And9:
+    def test_selection_grows_with_requirement(self, testbed):
+        result = run_fig8(
+            testbed, requirements=(0.5, 0.9), n_users=40, n_tasks=15, repeats=2
+        )
+        first, last = result.rows[0], result.rows[-1]
+        assert last[1] >= first[1]  # single-task winners grow
+        assert last[2] >= first[2]  # multi-task winners grow
+
+    def test_cost_grows_with_requirement(self, testbed):
+        result = run_fig9(
+            testbed, requirements=(0.5, 0.9), n_users=40, n_tasks=15, repeats=2
+        )
+        first, last = result.rows[0], result.rows[-1]
+        assert last[1] >= first[1]
+        assert last[2] >= first[2]
+
+
+class TestAblations:
+    def test_epsilon_ratio_bounded(self, testbed):
+        result = run_ablation_epsilon(testbed, epsilons=(1.0, 0.25), n_users=30, repeats=2)
+        for eps, mean_ratio, max_ratio, _ in result.rows:
+            assert max_ratio <= 1.0 + eps + 1e-9
+            assert mean_ratio >= 1.0 - 1e-9
+
+    def test_delta_q_bound_above_actual(self, testbed):
+        result = run_ablation_delta_q(testbed, delta_q_values=(0.1,), n_users=20, n_tasks=8, repeats=2)
+        for _, _, bound, actual in result.rows:
+            assert bound >= actual - 1e-9
+
+    def test_smoothing_variants_all_evaluated(self, citywide):
+        result = run_ablation_smoothing(citywide)
+        smoothings = {row[0] for row in result.rows}
+        assert smoothings == {"laplace", "paper", "mle"}
+
+    def test_paper_formula_has_zero_probability_failures(self, citywide):
+        """The literal x/(x_i+l) leaves unseen transitions at zero."""
+        result = run_ablation_smoothing(citywide)
+        zero_rate = {row[0]: row[3] for row in result.rows}
+        assert zero_rate["paper"] > zero_rate["laplace"]
+        assert zero_rate["laplace"] < 0.05
+
+
+class TestCsvExport:
+    def test_to_csv_structure(self, citywide):
+        result = run_fig3(citywide, m_values=(3, 9))
+        text = result.to_csv()
+        lines = [l for l in text.splitlines() if not l.startswith("#")]
+        assert lines[0] == "m,accuracy"
+        assert len(lines) == 3
+
+    def test_extras_as_comments(self, citywide):
+        result = run_fig3(citywide, m_values=(9,))
+        assert any(
+            line.startswith("# accuracy_at_9") for line in result.to_csv().splitlines()
+        )
+
+    def test_save_csv_roundtrip(self, citywide, tmp_path):
+        import csv
+
+        result = run_fig3(citywide, m_values=(3, 9, 15))
+        path = tmp_path / "fig3.csv"
+        result.save_csv(path)
+        with open(path, newline="") as handle:
+            rows = [r for r in csv.reader(handle) if r and not r[0].startswith("#")]
+        assert rows[0] == ["m", "accuracy"]
+        assert len(rows) == 4

@@ -1,0 +1,115 @@
+"""Tests for the evaluation metrics module."""
+
+import pytest
+
+from repro.core.multi_task import MultiTaskMechanism
+from repro.core.single_task import SingleTaskMechanism
+from repro.core.transforms import contribution_to_pos
+from repro.simulation.engine import ExecutionSimulator
+from repro.simulation.metrics import (
+    achieved_task_pos,
+    completion_rate,
+    expected_platform_spend,
+    expected_utilities_multi,
+    expected_utilities_single,
+    platform_spend_summary,
+    social_cost,
+)
+
+
+class TestSocialCost:
+    def test_matches_outcome(self, small_multi_task):
+        outcome = MultiTaskMechanism().run(small_multi_task, compute_rewards=False)
+        assert social_cost(small_multi_task, outcome.winners) == pytest.approx(
+            outcome.social_cost
+        )
+
+    def test_empty_set(self, small_multi_task):
+        assert social_cost(small_multi_task, []) == 0.0
+
+
+class TestAchievedTaskPos:
+    def test_matches_outcome(self, small_multi_task):
+        outcome = MultiTaskMechanism().run(small_multi_task, compute_rewards=False)
+        metric = achieved_task_pos(small_multi_task, outcome.winners)
+        for task_id, value in outcome.achieved_pos.items():
+            assert metric[task_id] == pytest.approx(value)
+
+    def test_no_winners_zero(self, small_multi_task):
+        metric = achieved_task_pos(small_multi_task, frozenset())
+        assert all(v == 0.0 for v in metric.values())
+
+
+class TestExpectedUtilities:
+    def test_single_matches_formula(self, small_single_task):
+        mechanism = SingleTaskMechanism(alpha=10.0, tolerance=1e-8)
+        outcome = mechanism.run(small_single_task)
+        utilities = expected_utilities_single(small_single_task, outcome, 10.0)
+        for uid, value in utilities.items():
+            true_pos = contribution_to_pos(
+                small_single_task.contributions[small_single_task.index_of(uid)]
+            )
+            expected = (true_pos - outcome.rewards[uid].critical_pos) * 10.0
+            assert value == pytest.approx(expected)
+            assert value >= -1e-6  # IR
+
+    def test_multi_nonnegative(self, small_multi_task):
+        mechanism = MultiTaskMechanism(alpha=10.0)
+        outcome = mechanism.run(small_multi_task)
+        utilities = expected_utilities_multi(small_multi_task, outcome, 10.0)
+        assert set(utilities) == set(outcome.winners)
+        assert all(u >= -1e-6 for u in utilities.values())
+
+
+class TestSpend:
+    def test_expected_spend_formula(self, small_single_task):
+        mechanism = SingleTaskMechanism(alpha=10.0, tolerance=1e-8)
+        outcome = mechanism.run(small_single_task)
+        success = {
+            uid: contribution_to_pos(
+                small_single_task.contributions[small_single_task.index_of(uid)]
+            )
+            for uid in outcome.winners
+        }
+        spend = expected_platform_spend(outcome, success)
+        # Spend = sum of cost + expected utility per winner.
+        utilities = expected_utilities_single(small_single_task, outcome, 10.0)
+        expected = sum(
+            small_single_task.costs[small_single_task.index_of(uid)] + utilities[uid]
+            for uid in outcome.winners
+        )
+        assert spend == pytest.approx(expected)
+
+    def test_realised_spend_converges_to_expected(self, small_multi_task):
+        mechanism = MultiTaskMechanism(alpha=10.0)
+        outcome = mechanism.run(small_multi_task)
+        success = {}
+        for uid in outcome.winners:
+            user = small_multi_task.user_by_id(uid)
+            prod = 1.0
+            for p in user.pos.values():
+                prod *= 1.0 - p
+            success[uid] = 1.0 - prod
+        expected = expected_platform_spend(outcome, success)
+        simulator = ExecutionSimulator(seed=1)
+        results = [
+            simulator.simulate_multi(small_multi_task, outcome) for _ in range(3000)
+        ]
+        summary = platform_spend_summary(results)
+        assert summary.mean == pytest.approx(expected, abs=0.5)
+        assert summary.minimum <= summary.mean <= summary.maximum
+        assert summary.n_runs == 3000
+
+    def test_spend_summary_empty_rejected(self):
+        with pytest.raises(ValueError):
+            platform_spend_summary([])
+
+
+class TestCompletionRate:
+    def test_rate(self, small_multi_task):
+        outcome = MultiTaskMechanism().run(small_multi_task)
+        result = ExecutionSimulator(seed=2).simulate_multi(small_multi_task, outcome)
+        rate = completion_rate(result)
+        done = sum(1 for v in result.task_completed.values() if v)
+        assert rate == pytest.approx(done / len(result.task_completed))
+        assert 0.0 <= rate <= 1.0

@@ -1,0 +1,92 @@
+"""Tests for the strategic-behaviour study helpers."""
+
+import pytest
+
+from repro.core.multi_task import MultiTaskMechanism
+from repro.core.single_task import SingleTaskMechanism
+from repro.simulation.strategic import (
+    deviation_sweep_multi,
+    deviation_sweep_single,
+    paper_example_instance,
+    vcg_counterexample,
+)
+
+
+class TestPaperExampleInstance:
+    def test_types(self):
+        instance = paper_example_instance()
+        assert instance.user_ids == (1, 2, 3, 4)
+        assert instance.costs == (3.0, 2.0, 1.0, 4.0)
+
+    def test_requirement_is_09(self):
+        from repro.core.transforms import contribution_to_pos
+
+        assert contribution_to_pos(paper_example_instance().requirement) == pytest.approx(0.9)
+
+
+class TestVcgCounterexampleParametrized:
+    def test_default_misreport(self):
+        result = vcg_counterexample()
+        assert result.lying_declared_pos == 0.9
+
+    def test_mild_misreport_may_not_win(self):
+        # Declaring 0.55 is not enough to displace {1, 2}: user 3 stays out.
+        result = vcg_counterexample(lying_pos=0.55)
+        assert 3 not in result.lying_winners
+        assert result.lying_utility_user3 == 0.0
+
+    def test_extreme_misreport_wins(self):
+        result = vcg_counterexample(lying_pos=0.95)
+        assert 3 in result.lying_winners
+
+
+class TestDeviationSweepSingle:
+    def test_truth_is_optimal_on_grid(self, small_single_task):
+        mechanism = SingleTaskMechanism(tolerance=1e-8)
+        from repro.core.transforms import contribution_to_pos
+
+        for uid in small_single_task.user_ids[:3]:
+            true_pos = contribution_to_pos(
+                small_single_task.contributions[small_single_task.index_of(uid)]
+            )
+            grid = [0.05, 0.2, 0.4, 0.6, 0.8, 0.95, true_pos]
+            points = deviation_sweep_single(small_single_task, uid, mechanism, grid)
+            truthful = next(p for p in points if p.declared_pos == true_pos)
+            for point in points:
+                assert point.expected_utility <= truthful.expected_utility + 1e-6
+
+    def test_losing_declarations_earn_zero(self, small_single_task):
+        mechanism = SingleTaskMechanism(tolerance=1e-8)
+        points = deviation_sweep_single(
+            small_single_task, 0, mechanism, [0.01, 0.5, 0.9]
+        )
+        for point in points:
+            if not point.wins:
+                assert point.expected_utility == 0.0
+
+    def test_utility_constant_on_winning_region(self, small_single_task):
+        """Critical-bid pricing: utility is flat wherever the user wins."""
+        mechanism = SingleTaskMechanism(tolerance=1e-9)
+        points = deviation_sweep_single(
+            small_single_task, 0, mechanism, [0.5, 0.7, 0.9, 0.99]
+        )
+        winning = [p.expected_utility for p in points if p.wins]
+        if len(winning) >= 2:
+            assert max(winning) - min(winning) <= 1e-4
+
+
+class TestDeviationSweepMulti:
+    def test_truth_is_optimal_on_grid(self, small_multi_task):
+        mechanism = MultiTaskMechanism()
+        for uid in (1, 2, 3):
+            points = deviation_sweep_multi(
+                small_multi_task, uid, mechanism, [0.25, 0.5, 1.0, 1.5, 2.0]
+            )
+            truthful = next(p for p in points if p.declared_pos == 1.0)
+            for point in points:
+                assert point.expected_utility <= truthful.expected_utility + 1e-6
+
+    def test_zero_scale_never_wins(self, small_multi_task):
+        mechanism = MultiTaskMechanism()
+        points = deviation_sweep_multi(small_multi_task, 1, mechanism, [0.0])
+        assert not points[0].wins

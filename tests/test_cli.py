@@ -1,0 +1,52 @@
+"""Tests for the `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run", "fig3"])
+        assert args.experiment == "fig3"
+        assert args.n_taxis == 250
+        assert args.seed == 42
+
+    def test_run_accepts_all(self):
+        args = build_parser().parse_args(["run", "all"])
+        assert args.experiment == "all"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExperimentTable:
+    def test_every_figure_present(self):
+        for fig in ("fig3", "fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7", "fig8", "fig9"):
+            assert fig in EXPERIMENTS
+
+    def test_kinds_valid(self):
+        assert {kind for _, kind in EXPERIMENTS.values()} <= {"dense", "citywide"}
+
+
+class TestMain:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig5a" in output and "ablation-smoothing" in output
+
+    def test_run_small_experiment(self, capsys):
+        # fig4 on a tiny fleet: fast enough for a unit test.
+        assert main(["run", "fig4", "--n-taxis", "60", "--seed", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "[fig4]" in output
+        assert "fraction_below_0.2" in output

@@ -1,0 +1,85 @@
+"""Tests for the simulation configuration (Tables II and III)."""
+
+import math
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.workload.config import (
+    TABLE3_SETTING_1,
+    TABLE3_SETTING_2,
+    SimulationConfig,
+    table2_defaults,
+)
+
+
+class TestTable2Defaults:
+    def test_paper_values(self):
+        config = table2_defaults()
+        assert config.pos_requirement == 0.8
+        assert config.alpha == 10.0
+        assert config.tasks_per_user == (10, 20)
+        assert config.cost_mean == 15.0
+        assert config.cost_variance == 5.0
+
+    def test_cost_std_is_sqrt_variance(self):
+        assert table2_defaults().cost_std == pytest.approx(math.sqrt(5.0))
+
+
+class TestValidation:
+    def test_requirement_bounds(self):
+        with pytest.raises(ValidationError):
+            SimulationConfig(pos_requirement=0.0)
+        with pytest.raises(ValidationError):
+            SimulationConfig(pos_requirement=1.0)
+
+    def test_alpha_positive(self):
+        with pytest.raises(ValidationError):
+            SimulationConfig(alpha=0.0)
+
+    def test_task_range_ordered(self):
+        with pytest.raises(ValidationError):
+            SimulationConfig(tasks_per_user=(20, 10))
+        with pytest.raises(ValidationError):
+            SimulationConfig(tasks_per_user=(0, 5))
+
+    def test_cost_parameters(self):
+        with pytest.raises(ValidationError):
+            SimulationConfig(cost_mean=0.0)
+        with pytest.raises(ValidationError):
+            SimulationConfig(cost_variance=-1.0)
+        with pytest.raises(ValidationError):
+            SimulationConfig(min_cost=0.0)
+
+    def test_margin_at_least_one(self):
+        with pytest.raises(ValidationError):
+            SimulationConfig(feasibility_margin=0.9)
+
+    def test_repair_strategy_names(self):
+        with pytest.raises(ValidationError):
+            SimulationConfig(repair="fixit")
+        for strategy in ("boost", "drop", "none"):
+            assert SimulationConfig(repair=strategy).repair == strategy
+
+
+class TestWithRequirement:
+    def test_override(self):
+        config = table2_defaults().with_requirement(0.6)
+        assert config.pos_requirement == 0.6
+        assert config.alpha == 10.0  # everything else unchanged
+
+    def test_original_unchanged(self):
+        config = table2_defaults()
+        config.with_requirement(0.6)
+        assert config.pos_requirement == 0.8
+
+
+class TestTable3Settings:
+    def test_setting_1(self):
+        assert TABLE3_SETTING_1["n_users_range"] == (10, 100)
+        assert TABLE3_SETTING_1["n_tasks"] == 15
+        assert TABLE3_SETTING_1["config"].pos_requirement == 0.8
+
+    def test_setting_2(self):
+        assert TABLE3_SETTING_2["n_users"] == 30
+        assert TABLE3_SETTING_2["n_tasks_range"] == (10, 50)

@@ -1,0 +1,151 @@
+"""Tests for the workload generator (auction instances from mobility models).
+
+Uses the session-scoped small testbed from conftest (150 concentrated taxis).
+"""
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.core.transforms import contribution_to_pos, pos_to_contribution
+from repro.workload.config import SimulationConfig
+from repro.workload.generator import WorkloadGenerator
+
+
+class TestSingleTaskGeneration:
+    def test_requested_user_count(self, testbed):
+        generated = testbed.generator.single_task_instance(20, seed=1)
+        assert generated.instance.n_users == 20
+
+    def test_instance_is_feasible(self, testbed):
+        generated = testbed.generator.single_task_instance(20, seed=2)
+        assert generated.instance.is_feasible()
+
+    def test_requirement_matches_config(self, testbed):
+        generated = testbed.generator.single_task_instance(20, seed=3)
+        expected = pos_to_contribution(testbed.generator.config.pos_requirement)
+        assert generated.instance.requirement == pytest.approx(expected)
+
+    def test_requirement_override(self, testbed):
+        generated = testbed.generator.single_task_instance(20, requirement=0.6, seed=3)
+        assert generated.instance.requirement == pytest.approx(pos_to_contribution(0.6))
+
+    def test_costs_positive(self, testbed):
+        generated = testbed.generator.single_task_instance(30, seed=4)
+        assert all(c > 0 for c in generated.instance.costs)
+
+    def test_pos_values_sane(self, testbed):
+        generated = testbed.generator.single_task_instance(30, seed=5)
+        for q in generated.instance.contributions:
+            assert 0.0 <= contribution_to_pos(q) <= 0.95
+
+    def test_provenance_mapping(self, testbed):
+        generated = testbed.generator.single_task_instance(15, seed=6)
+        assert set(generated.taxi_of_user) == set(generated.instance.user_ids)
+        assert all(t in testbed.model.taxi_ids for t in generated.taxi_of_user.values())
+
+    def test_deterministic_given_seed(self, testbed):
+        a = testbed.generator.single_task_instance(20, seed=9)
+        b = testbed.generator.single_task_instance(20, seed=9)
+        assert a.instance == b.instance
+        assert a.task_cell == b.task_cell
+
+    def test_different_seeds_differ(self, testbed):
+        a = testbed.generator.single_task_instance(20, seed=10)
+        b = testbed.generator.single_task_instance(20, seed=11)
+        assert a.instance.costs != b.instance.costs
+
+    def test_too_many_users_rejected(self, testbed):
+        with pytest.raises(ValidationError):
+            testbed.generator.single_task_instance(10_000, seed=1)
+
+    def test_bad_user_count_rejected(self, testbed):
+        with pytest.raises(ValidationError):
+            testbed.generator.single_task_instance(0)
+
+
+class TestMultiTaskGeneration:
+    def test_task_count_without_drops(self, testbed):
+        generated = testbed.generator.multi_task_instance(30, 10, seed=1)
+        assert generated.instance.n_tasks == 10 - len(generated.repair.dropped_tasks)
+
+    def test_instance_feasible_after_repair(self, testbed):
+        generated = testbed.generator.multi_task_instance(20, 12, seed=2)
+        assert generated.instance.is_feasible()
+
+    def test_bundle_sizes_respect_config(self, testbed):
+        generated = testbed.generator.multi_task_instance(25, 15, seed=3)
+        low, high = testbed.generator.config.tasks_per_user
+        for user in generated.instance.users:
+            assert 1 <= len(user.task_set) <= high
+
+    def test_bundles_are_subsets_of_pool(self, testbed):
+        generated = testbed.generator.multi_task_instance(25, 15, seed=4)
+        pool = set(generated.task_cells)
+        for user in generated.instance.users:
+            assert user.task_set <= pool
+
+    def test_requirement_uniform_across_tasks(self, testbed):
+        generated = testbed.generator.multi_task_instance(25, 15, seed=5)
+        requirements = {t.requirement for t in generated.instance.tasks}
+        assert requirements == {testbed.generator.config.pos_requirement}
+
+    def test_deterministic_given_seed(self, testbed):
+        a = testbed.generator.multi_task_instance(20, 10, seed=7)
+        b = testbed.generator.multi_task_instance(20, 10, seed=7)
+        assert a.task_cells == b.task_cells
+        assert [u.user_id for u in a.instance.users] == [
+            u.user_id for u in b.instance.users
+        ]
+
+    def test_repair_report_records_boosts(self, testbed):
+        # Few users, many tasks, high requirement: boosting must kick in.
+        generated = testbed.generator.multi_task_instance(
+            10, 15, requirement=0.9, seed=8
+        )
+        assert generated.instance.is_feasible()
+        # Every kept task is either naturally covered or recorded as boosted.
+        for task in generated.instance.tasks:
+            coverage = generated.instance.coverage(task.task_id)
+            assert coverage >= task.contribution_requirement - 1e-9
+
+    def test_more_users_than_fleet_rejected(self, testbed):
+        with pytest.raises(ValidationError):
+            testbed.generator.multi_task_instance(10_000, 10)
+
+    def test_bad_counts_rejected(self, testbed):
+        with pytest.raises(ValidationError):
+            testbed.generator.multi_task_instance(0, 10)
+        with pytest.raises(ValidationError):
+            testbed.generator.multi_task_instance(10, 0)
+
+
+class TestRepairStrategies:
+    def test_drop_strategy_removes_thin_tasks(self, testbed):
+        config = SimulationConfig(repair="drop")
+        generator = WorkloadGenerator(testbed.model, config=config, seed=0)
+        generated = generator.multi_task_instance(15, 15, seed=1)
+        # Thin tasks are dropped, never boosted; the rest must be naturally
+        # feasible.
+        assert generated.repair.boosted_tasks == {}
+        assert generated.repair.dropped_tasks  # this setting is thin enough
+        assert generated.instance.is_feasible()
+
+    def test_drop_strategy_all_dropped_raises(self, testbed):
+        config = SimulationConfig(repair="drop")
+        generator = WorkloadGenerator(testbed.model, config=config, seed=0)
+        with pytest.raises(ValidationError):
+            generator.multi_task_instance(10, 15, requirement=0.9, seed=1)
+
+    def test_none_strategy_leaves_instance_alone(self, testbed):
+        config = SimulationConfig(repair="none")
+        generator = WorkloadGenerator(testbed.model, config=config, seed=0)
+        generated = generator.multi_task_instance(10, 15, requirement=0.9, seed=1)
+        assert generated.repair.clean
+        # May or may not be feasible; the point is nothing was altered.
+        assert generated.instance.n_tasks == 15
+
+    def test_repair_report_clean_flag(self, testbed):
+        generated = testbed.generator.multi_task_instance(40, 10, seed=2)
+        assert generated.repair.clean == (
+            not generated.repair.boosted_tasks and not generated.repair.dropped_tasks
+        )

@@ -1,0 +1,65 @@
+"""Tests for the workload sampling primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.workload.config import SimulationConfig, table2_defaults
+from repro.workload.sampling import sample_costs, sample_task_set_size
+
+
+class TestSampleCosts:
+    def test_count(self):
+        rng = np.random.default_rng(0)
+        assert len(sample_costs(table2_defaults(), 50, rng)) == 50
+
+    def test_all_above_floor(self):
+        rng = np.random.default_rng(1)
+        costs = sample_costs(table2_defaults(), 5000, rng)
+        assert (costs >= table2_defaults().min_cost).all()
+
+    def test_moments_match_table2(self):
+        rng = np.random.default_rng(2)
+        costs = sample_costs(table2_defaults(), 50_000, rng)
+        assert costs.mean() == pytest.approx(15.0, abs=0.1)
+        assert costs.var() == pytest.approx(5.0, rel=0.05)
+
+    def test_zero_n(self):
+        rng = np.random.default_rng(3)
+        assert len(sample_costs(table2_defaults(), 0, rng)) == 0
+
+    def test_negative_n_rejected(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValidationError):
+            sample_costs(table2_defaults(), -1, rng)
+
+    def test_seeded_reproducibility(self):
+        a = sample_costs(table2_defaults(), 20, np.random.default_rng(7))
+        b = sample_costs(table2_defaults(), 20, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_pathological_config_clipped(self):
+        """A cost model mostly below the floor still yields valid costs."""
+        config = SimulationConfig(cost_mean=0.6, cost_variance=4.0, min_cost=0.5)
+        rng = np.random.default_rng(8)
+        costs = sample_costs(config, 1000, rng)
+        assert (costs >= 0.5).all()
+
+
+class TestSampleTaskSetSize:
+    def test_within_range(self):
+        rng = np.random.default_rng(0)
+        config = table2_defaults()
+        sizes = [sample_task_set_size(config, rng) for _ in range(1000)]
+        assert min(sizes) >= 10 and max(sizes) <= 20
+
+    def test_covers_both_endpoints(self):
+        rng = np.random.default_rng(1)
+        config = table2_defaults()
+        sizes = {sample_task_set_size(config, rng) for _ in range(2000)}
+        assert 10 in sizes and 20 in sizes
+
+    def test_degenerate_range(self):
+        config = SimulationConfig(tasks_per_user=(7, 7))
+        rng = np.random.default_rng(2)
+        assert sample_task_set_size(config, rng) == 7
