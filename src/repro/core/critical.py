@@ -62,12 +62,13 @@ from collections.abc import Callable
 
 from .errors import CriticalBidError, InfeasibleInstanceError
 from .fptas import fptas_min_knapsack
-from .greedy import greedy_allocation
-from .types import AuctionInstance, SingleTaskInstance
+from .greedy import GreedyIteration, greedy_allocation
+from .types import AuctionInstance, SingleTaskInstance, UserType
 
 __all__ = [
     "critical_contribution_single",
     "critical_contribution_multi",
+    "price_from_iterations",
     "DEFAULT_TOLERANCE",
 ]
 
@@ -156,10 +157,34 @@ def critical_contribution_multi(
     user = instance.user_by_id(user_id)
     counterfactual = instance.without_user(user_id)
     trace = greedy_allocation(counterfactual, require_feasible=False)
+    return price_from_iterations(user, trace.iterations, trace.satisfied, method)
 
+
+def price_from_iterations(
+    user: UserType,
+    iterations: tuple[GreedyIteration, ...],
+    satisfied: bool,
+    method: str = "threshold",
+) -> float:
+    """Price a user against an already-computed counterfactual greedy trace.
+
+    This is the arithmetic core of :func:`critical_contribution_multi`,
+    factored out so the batch pricing engine
+    (:class:`repro.perf.batch_pricer.BatchPricer`) — which obtains the
+    counterfactual iterations by shared-prefix replay instead of a full
+    rerun — produces bit-identical critical bids.
+
+    Args:
+        user: The (declared) type of the user being priced.
+        iterations: The counterfactual run's iterations (without ``user``).
+        satisfied: Whether that run met every requirement (``user`` is
+            pivotal when it did not).
+        method: ``"threshold"`` or ``"paper"`` (see
+            :func:`critical_contribution_multi`).
+    """
     if method == "paper":
         best = math.inf
-        for iteration in trace.iterations:
+        for iteration in iterations:
             # To be chosen in place of user k, user i needs ratio >= k's:
             # gain_i / c_i >= gain_k / c_k  =>  gain_i >= (c_i/c_k)·gain_k.
             candidate = (user.cost / iteration.cost) * iteration.gain
@@ -173,7 +198,7 @@ def critical_contribution_multi(
     # Threshold method.  If the counterfactual run could not satisfy the
     # requirements, user i is pivotal: with her present the greedy must
     # eventually select her at any positive declaration.
-    if not trace.satisfied:
+    if not satisfied:
         return 0.0
     declared_total = user.total_contribution()
     if declared_total <= 0.0:
@@ -181,9 +206,20 @@ def critical_contribution_multi(
     # Her declared profile's per-task shares: q_i^j = share_j * total.
     shares = {j: user.contribution(j) / declared_total for j in user.task_set}
 
+    # Scan candidates in ascending required-gain order: a candidate's scale
+    # is at least required_gain / declared_total (capping can only *raise*
+    # it), so once that lower bound clears the incumbent minimum — with a
+    # 1e-9 relative margin absorbing float rounding — no later candidate can
+    # improve the minimum and the scan stops.  The returned value is
+    # unchanged; only provably non-improving solves are skipped.
+    candidates = sorted(
+        ((user.cost * iteration.ratio, iteration) for iteration in iterations),
+        key=lambda pair: pair[0],
+    )
     best_scale = math.inf
-    for iteration in trace.iterations:
-        required_gain = user.cost * iteration.ratio
+    for required_gain, iteration in candidates:
+        if required_gain > best_scale * declared_total * (1.0 + 1e-9):
+            break
         scale = _min_scale_for_gain(
             shares, declared_total, iteration.residual_before, required_gain
         )
@@ -227,7 +263,9 @@ def _min_scale_for_gain(
     # whose cap has not yet bound.
     s_prev = 0.0
     gain_prev = 0.0
-    slope = sum(q for _, q, _ in rates)
+    slope = 0.0
+    for item in rates:
+        slope += item[1]
     idx = 0
     while idx <= len(rates):
         s_next = rates[idx][0] if idx < len(rates) else math.inf

@@ -44,10 +44,16 @@ import numpy as np
 from .errors import InfeasibleInstanceError, ValidationError
 from .types import SingleTaskInstance
 
-__all__ = ["FptasResult", "fptas_min_knapsack", "DEFAULT_EPSILON"]
+__all__ = ["FptasResult", "fptas_min_knapsack", "DEFAULT_EPSILON", "MAX_DP_CELLS"]
 
 #: The paper's evaluation uses ε = 0.5 and reports near-optimal behaviour.
 DEFAULT_EPSILON = 0.5
+
+#: Upper bound on the DP decision matrix size ``n·(c_max+1)``.  ``c_max =
+#: Σ⌊c_j/μ_k⌋`` grows as ``1/ε``, so a tiny ε can push the ``take`` matrix
+#: into the gigabytes; past this bound the solver refuses with a
+#: :class:`ValidationError` instead of dying on an opaque ``MemoryError``.
+MAX_DP_CELLS = 150_000_000
 
 _EPS = 1e-9
 
@@ -75,8 +81,68 @@ class FptasResult:
     scaled_objective: float
 
 
+def _check_dp_cells(n: int, c_max: int) -> None:
+    """Refuse DP tables whose decision matrix would exceed :data:`MAX_DP_CELLS`."""
+    cells = n * (c_max + 1)
+    if cells > MAX_DP_CELLS:
+        raise ValidationError(
+            f"FPTAS dynamic program needs {cells} decision cells "
+            f"(n={n}, c_max={c_max}), exceeding MAX_DP_CELLS={MAX_DP_CELLS}; "
+            f"increase epsilon or shrink the cost spread"
+        )
+
+
+def _dp_rows(
+    best: np.ndarray,
+    take: np.ndarray,
+    int_costs: np.ndarray,
+    contributions: np.ndarray,
+    start: int,
+    stop: int,
+    cand: np.ndarray | None = None,
+    counters=None,
+) -> None:
+    """Apply DP item layers ``[start, stop)`` to ``best`` / ``take`` in place.
+
+    ``best[c]`` holds the maximum contribution achievable at integer cost
+    exactly ``c`` over the items processed so far; ``take[j]`` records layer
+    ``j``'s decision bits for the backward reconstruction walk.  Exposing the
+    row loop lets :class:`repro.perf.single_pricer.SingleTaskPricer` resume
+    from a snapshot taken after a shared prefix of layers, so the fast path
+    runs the *same* float operations as the reference solver.
+    """
+    n_cells = best.size
+    if cand is None:
+        cand = np.empty_like(best)
+    for j in range(start, stop):
+        c_j = int(int_costs[j])
+        q_j = float(contributions[j])
+        if c_j == 0:
+            np.add(best, q_j, out=cand)
+        else:
+            cand[:c_j] = -np.inf
+            np.add(best[: n_cells - c_j], q_j, out=cand[c_j:])
+        # Strict '>' keeps the no-take branch on ties (deterministic).
+        np.greater(cand, best, out=take[j, :n_cells])
+        np.copyto(best, cand, where=take[j, :n_cells])
+        if counters is not None:
+            counters.fptas_dp_cells += n_cells
+
+
+def _reconstruct(take: np.ndarray, int_costs: np.ndarray, target: int) -> list[int]:
+    """Backward walk over the decision layers, mirroring Algorithm 1's parents."""
+    items: list[int] = []
+    c = target
+    for j in range(take.shape[0] - 1, -1, -1):
+        if take[j, c]:
+            items.append(j)
+            c -= int(int_costs[j])
+    assert c == 0, "reconstruction must end at the empty state"
+    return items
+
+
 def _min_knapsack_scaled(
-    int_costs: np.ndarray, contributions: np.ndarray, requirement: float
+    int_costs: np.ndarray, contributions: np.ndarray, requirement: float, counters=None
 ) -> tuple[frozenset[int], int] | None:
     """Exact min-knapsack over non-negative *integer* costs.
 
@@ -87,42 +153,27 @@ def _min_knapsack_scaled(
 
     Decision bits are stored per item layer so the chosen set can be
     reconstructed by a backward walk, mirroring Algorithm 1's parent
-    pointers but in flat arrays.
+    pointers but in flat arrays.  Raises :class:`ValidationError` when the
+    decision matrix would exceed :data:`MAX_DP_CELLS` cells.
     """
     n = len(int_costs)
     c_max = int(int_costs.sum())
+    _check_dp_cells(n, c_max)
     best = np.full(c_max + 1, -np.inf)
     best[0] = 0.0
     take = np.zeros((n, c_max + 1), dtype=bool)
-    for j in range(n):
-        c_j = int(int_costs[j])
-        q_j = float(contributions[j])
-        if c_j == 0:
-            cand = best + q_j
-        else:
-            cand = np.concatenate((np.full(c_j, -np.inf), best[:-c_j] + q_j))
-        # Strict '>' keeps the no-take branch on ties (deterministic).
-        improved = cand > best
-        take[j] = improved
-        best = np.where(improved, cand, best)
+    _dp_rows(best, take, int_costs, contributions, 0, n, counters=counters)
 
     feasible = np.flatnonzero(best >= requirement - _EPS)
     if feasible.size == 0:
         return None
     target = int(feasible[0])
-
-    items: list[int] = []
-    c = target
-    for j in range(n - 1, -1, -1):
-        if take[j, c]:
-            items.append(j)
-            c -= int(int_costs[j])
-    assert c == 0, "reconstruction must end at the empty state"
+    items = _reconstruct(take, int_costs, target)
     return frozenset(items), target
 
 
 def fptas_min_knapsack(
-    instance: SingleTaskInstance, epsilon: float = DEFAULT_EPSILON
+    instance: SingleTaskInstance, epsilon: float = DEFAULT_EPSILON, counters=None
 ) -> FptasResult:
     """Algorithm 2: (1+ε)-approximate winner determination, single task.
 
@@ -131,13 +182,17 @@ def fptas_min_knapsack(
             non-negative contributions, requirement ``Q >= 0``).
         epsilon: Approximation parameter ``ε > 0``; smaller is more accurate
             and slower (time grows as ``1/ε``).
+        counters: Optional :class:`repro.perf.instrumentation.PerfCounters`
+            (duck-typed) accumulating ``fptas_subproblems`` and
+            ``fptas_dp_cells``.
 
     Returns:
         The selected users with cost/contribution diagnostics.
 
     Raises:
         InfeasibleInstanceError: If all users together cannot reach ``Q``.
-        ValidationError: If ``epsilon <= 0``.
+        ValidationError: If ``epsilon <= 0``, or if the DP would exceed
+            :data:`MAX_DP_CELLS` cells (tiny ε on a wide cost spread).
     """
     if epsilon <= 0 or not math.isfinite(epsilon):
         raise ValidationError(f"epsilon must be positive and finite, got {epsilon!r}")
@@ -179,7 +234,9 @@ def fptas_min_knapsack(
         c_k = float(costs[k - 1])
         mu_k = epsilon * c_k / k
         scaled = np.floor(costs[:k] / mu_k).astype(np.int64)
-        solved = _min_knapsack_scaled(scaled, contribs[:k], requirement)
+        if counters is not None:
+            counters.fptas_subproblems += 1
+        solved = _min_knapsack_scaled(scaled, contribs[:k], requirement, counters=counters)
         if solved is None:
             continue
         items, scaled_cost = solved

@@ -33,6 +33,8 @@ __all__ = [
     "greedy_allocation",
     "greedy_allocation_reference",
     "capped_gain",
+    "select_best_row",
+    "positive_residual_snapshot",
 ]
 
 _EPS = 1e-12
@@ -48,6 +50,51 @@ def capped_gain(user: UserType, residual: dict[int, float]) -> float:
     return gain
 
 
+def select_best_row(gains: np.ndarray, ratios: np.ndarray) -> int:
+    """Algorithm 4's selection scan, vectorised.
+
+    Reproduces the reference rule exactly: walk rows in ascending user id,
+    skip rows with gain ``<= _EPS``, and let a later row displace the
+    incumbent only when its ratio is strictly better by more than ``_EPS``.
+    When the maximum ratio beats the runner-up by more than ``_EPS`` the
+    incumbent chain provably ends at the (unique) argmax, so a masked argmax
+    suffices; only ε-level ties fall back to the literal scan.
+
+    Returns the selected row, or ``-1`` when no row has positive gain.
+    """
+    eligible = gains > _EPS
+    if not eligible.any():
+        return -1
+    masked = np.where(eligible, ratios, -np.inf)
+    best = int(np.argmax(masked))
+    top = float(masked[best])
+    masked[best] = -np.inf
+    if top > float(masked.max()) + _EPS:
+        return best
+    # ε-level tie between the top ratios: replay the reference incumbent
+    # chain (its outcome can depend on rows *below* the top band).
+    best_row = -1
+    best_ratio = 0.0
+    for row in np.flatnonzero(eligible):
+        ratio = float(ratios[row])
+        if best_row < 0 or ratio > best_ratio + _EPS:
+            best_row, best_ratio = int(row), ratio
+    return best_row
+
+
+def positive_residual_snapshot(residual: np.ndarray, task_ids: list[int]) -> dict[int, float]:
+    """Snapshot only tasks with positive residual (missing keys mean 0).
+
+    ``GreedyIteration.residual_before`` consumers read through
+    ``.get(j, 0.0)``, so satisfied tasks can be dropped; this turns the
+    per-iteration O(t) dict into O(open tasks), which matters once the
+    greedy has covered most requirements.
+    """
+    return {
+        tid: float(residual[k]) for k, tid in enumerate(task_ids) if residual[k] > 0.0
+    }
+
+
 @dataclass(frozen=True, slots=True)
 class GreedyIteration:
     """One iteration of Algorithm 4's main loop.
@@ -56,6 +103,8 @@ class GreedyIteration:
         user_id: The user selected in this iteration.
         residual_before: Residual requirements ``Q̄`` at the iteration start
             (task id -> remaining contribution), as used for the ratio.
+            Only tasks with *positive* residual appear; a missing key means
+            the task was already satisfied (readers use ``.get(j, 0.0)``).
         gain: The selected user's capped contribution at that point.
         ratio: ``gain / cost`` — the criterion maximised.
         cost: The selected user's cost.
@@ -93,7 +142,7 @@ class GreedyTrace:
 
 
 def greedy_allocation(
-    instance: AuctionInstance, require_feasible: bool = True
+    instance: AuctionInstance, require_feasible: bool = True, counters=None
 ) -> GreedyTrace:
     """Run Algorithm 4 on a multi-task instance.
 
@@ -105,16 +154,17 @@ def greedy_allocation(
             running until no user offers positive gain.  The reward scheme
             uses the latter mode for counterfactual runs without a pivotal
             user.
+        counters: Optional :class:`repro.perf.instrumentation.PerfCounters`
+            (duck-typed) accumulating ``greedy_iterations``.
 
     Returns:
         The :class:`GreedyTrace` of the run.
 
-    The default implementation vectorises the per-iteration gain
-    computation with numpy (the O(n·t) inner work, run up to n times —
-    and up to n more times per winner inside Algorithm 5's counterfactual
-    reruns); :func:`greedy_allocation_reference` is the paper-literal
-    pure-Python version the tests cross-validate against.  Both apply the
-    identical selection scan, so their traces are byte-for-byte equal.
+    The default implementation vectorises both the per-iteration gain
+    computation and the selection scan (see :func:`select_best_row`);
+    :func:`greedy_allocation_reference` is the paper-literal pure-Python
+    version the tests cross-validate against.  Both apply the identical
+    selection rule, so their traces are byte-for-byte equal.
     """
 
     task_ids = [t.task_id for t in instance.tasks]
@@ -138,15 +188,9 @@ def greedy_allocation(
         gains = np.minimum(contrib, residual[None, :]).sum(axis=1)
         gains[~active] = 0.0
         ratios = gains / costs
-        # The reference scan: ascending user id, a later user displaces the
-        # incumbent only when strictly better by more than _EPS.
-        best_row = -1
-        best_ratio = 0.0
-        for row in range(n):
-            if gains[row] <= _EPS:
-                continue
-            if best_row < 0 or ratios[row] > best_ratio + _EPS:
-                best_row, best_ratio = row, ratios[row]
+        if counters is not None:
+            counters.greedy_iterations += 1
+        best_row = select_best_row(gains, ratios)
         if best_row < 0:
             if require_feasible:
                 uncovered = frozenset(
@@ -160,9 +204,9 @@ def greedy_allocation(
         iterations.append(
             GreedyIteration(
                 user_id=uids[best_row],
-                residual_before={tid: float(residual[k]) for k, tid in enumerate(task_ids)},
+                residual_before=positive_residual_snapshot(residual, task_ids),
                 gain=float(gains[best_row]),
-                ratio=float(best_ratio),
+                ratio=float(ratios[best_row]),
                 cost=float(costs[best_row]),
             )
         )
@@ -214,7 +258,7 @@ def greedy_allocation_reference(
         iterations.append(
             GreedyIteration(
                 user_id=best_uid,
-                residual_before=dict(residual),
+                residual_before={j: r for j, r in residual.items() if r > 0.0},
                 gain=best_gain,
                 ratio=best_ratio,
                 cost=winner.cost,

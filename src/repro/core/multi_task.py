@@ -20,6 +20,7 @@ means completing *any* task of the bundle; a winner's expected utility is
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from .critical import critical_contribution_multi
 from .errors import ValidationError
@@ -43,6 +44,9 @@ class MultiTaskOutcome:
         achieved_pos: Per-task analytic completion probability under the
             declared profile, ``1 − Π_{i∈winners, j∈S_i}(1 − p_i^j)``.
         trace: The greedy run's full iteration record.
+        perf: :class:`repro.perf.instrumentation.PerfCounters` for this run
+            (iteration/reuse counters, stage timings); excluded from
+            equality so fast and reference outcomes compare equal.
     """
 
     winners: frozenset[int]
@@ -50,6 +54,7 @@ class MultiTaskOutcome:
     social_cost: float
     achieved_pos: dict[int, float]
     trace: GreedyTrace = field(repr=False)
+    perf: Any = field(default=None, repr=False, compare=False)
 
     def reward_of(self, user_id: int) -> ECReward:
         return self.rewards[user_id]
@@ -70,6 +75,11 @@ class MultiTaskMechanism:
             Algorithm 5 iteration-minimum, which can underprice critical
             bids when contribution capping binds (see
             :mod:`repro.core.critical`).
+        pricing: ``"fast"`` (default) prices all winners through
+            :class:`repro.perf.batch_pricer.BatchPricer` — shared-prefix
+            counterfactual replay, bit-identical critical bids;
+            ``"reference"`` keeps the literal per-winner
+            :func:`critical_contribution_multi` reruns.
 
     Example:
         >>> from repro.core.types import AuctionInstance, Task, UserType
@@ -86,47 +96,88 @@ class MultiTaskMechanism:
         True
     """
 
-    def __init__(self, alpha: float = 10.0, critical_method: str = "threshold"):
+    def __init__(
+        self,
+        alpha: float = 10.0,
+        critical_method: str = "threshold",
+        pricing: str = "fast",
+    ):
         if alpha <= 0:
             raise ValidationError(f"alpha must be positive, got {alpha!r}")
         if critical_method not in ("threshold", "paper"):
             raise ValidationError(f"unknown critical_method {critical_method!r}")
+        if pricing not in ("fast", "reference"):
+            raise ValidationError(f"unknown pricing mode {pricing!r}")
         self.alpha = alpha
         self.critical_method = critical_method
+        self.pricing = pricing
 
     def determine_winners(self, instance: AuctionInstance) -> GreedyTrace:
         """Run only the winner-determination stage (Algorithm 4)."""
         return greedy_allocation(instance)
 
-    def run(self, instance: AuctionInstance, compute_rewards: bool = True) -> MultiTaskOutcome:
+    def run(
+        self,
+        instance: AuctionInstance,
+        compute_rewards: bool = True,
+        max_workers: int | None = None,
+    ) -> MultiTaskOutcome:
         """Run the full auction: allocation plus (optionally) reward contracts.
 
         ``compute_rewards=False`` skips the per-winner counterfactual greedy
         reruns (Algorithm 5); social-cost experiments use it.
+        ``max_workers`` opts the fast path into thread fan-out across
+        winners (ignored in ``"reference"`` pricing).
         """
-        trace = self.determine_winners(instance)
+        # Imported lazily: repro.perf depends on repro.core, not vice versa.
+        from repro.perf.instrumentation import PerfCounters
+
+        counters = PerfCounters()
         rewards: dict[int, ECReward] = {}
-        if compute_rewards:
-            for uid in trace.selected:
-                q_bar = critical_contribution_multi(
-                    instance, uid, method=self.critical_method
+        if self.pricing == "fast" and compute_rewards:
+            from repro.perf.batch_pricer import BatchPricer
+
+            with counters.stage("winner_determination"):
+                pricer = BatchPricer(
+                    instance, method=self.critical_method, counters=counters
                 )
-                cost = instance.user_by_id(uid).cost
-                rewards[uid] = ec_reward(uid, q_bar, cost, self.alpha)
+            trace = pricer.trace
+            with counters.stage("reward_determination"):
+                for uid, q_bar in pricer.price_all(max_workers=max_workers).items():
+                    cost = instance.user_by_id(uid).cost
+                    rewards[uid] = ec_reward(uid, q_bar, cost, self.alpha)
+        else:
+            with counters.stage("winner_determination"):
+                trace = greedy_allocation(instance, counters=counters)
+            if compute_rewards:
+                with counters.stage("reward_determination"):
+                    for uid in trace.selected:
+                        q_bar = critical_contribution_multi(
+                            instance, uid, method=self.critical_method
+                        )
+                        cost = instance.user_by_id(uid).cost
+                        rewards[uid] = ec_reward(uid, q_bar, cost, self.alpha)
 
         winners = trace.selected_set
-        per_task: dict[int, float] = {}
-        for task in instance.tasks:
-            contribs = [
-                u.contribution(task.task_id)
-                for u in instance.users
-                if u.user_id in winners and task.task_id in u.task_set
-            ]
-            per_task[task.task_id] = achieved_pos(contribs)
+        # One pass over the winners' bundles instead of scanning every user
+        # for every task (O(winner bundles) vs O(n·t)).
+        contribs_by_task: dict[int, list[float]] = {
+            t.task_id: [] for t in instance.tasks
+        }
+        for u in instance.users:
+            if u.user_id in winners:
+                for task_id in u.task_set:
+                    if task_id in contribs_by_task:
+                        contribs_by_task[task_id].append(u.contribution(task_id))
+        per_task = {
+            task_id: achieved_pos(contribs)
+            for task_id, contribs in contribs_by_task.items()
+        }
         return MultiTaskOutcome(
             winners=winners,
             rewards=rewards,
             social_cost=trace.total_cost(instance),
             achieved_pos=per_task,
             trace=trace,
+            perf=counters,
         )

@@ -17,6 +17,7 @@ truthful reporting.  Costs are assumed verifiable (§III-A).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from .critical import DEFAULT_TOLERANCE, critical_contribution_single
 from .errors import ValidationError
@@ -39,6 +40,9 @@ class SingleTaskOutcome:
         achieved_pos: Analytic probability the task is completed,
             ``1 − Π_{i∈winners}(1 − p_i)`` under the declared PoS profile.
         allocation: Raw FPTAS diagnostics.
+        perf: :class:`repro.perf.instrumentation.PerfCounters` for this run
+            (DP/cache counters, stage timings); excluded from equality so
+            fast and reference outcomes compare equal.
     """
 
     winners: frozenset[int]
@@ -46,6 +50,7 @@ class SingleTaskOutcome:
     social_cost: float
     achieved_pos: float
     allocation: FptasResult = field(repr=False)
+    perf: Any = field(default=None, repr=False, compare=False)
 
     def reward_of(self, user_id: int) -> ECReward:
         return self.rewards[user_id]
@@ -59,6 +64,11 @@ class SingleTaskMechanism:
         alpha: Reward scaling factor ``α`` (paper default 10); trades off
             winners' utility against platform spend.
         tolerance: Absolute tolerance of the critical-bid binary search.
+        pricing: ``"fast"`` (default) prices winners through
+            :class:`repro.perf.single_pricer.SingleTaskPricer` — memoized
+            monotone FPTAS probes, bit-identical critical bids;
+            ``"reference"`` keeps the literal per-probe full FPTAS reruns of
+            :func:`critical_contribution_single`.
 
     Example:
         >>> from repro.core.types import SingleTaskInstance
@@ -78,12 +88,16 @@ class SingleTaskMechanism:
         epsilon: float = DEFAULT_EPSILON,
         alpha: float = 10.0,
         tolerance: float = DEFAULT_TOLERANCE,
+        pricing: str = "fast",
     ):
         if alpha <= 0:
             raise ValidationError(f"alpha must be positive, got {alpha!r}")
+        if pricing not in ("fast", "reference"):
+            raise ValidationError(f"unknown pricing mode {pricing!r}")
         self.epsilon = epsilon
         self.alpha = alpha
         self.tolerance = tolerance
+        self.pricing = pricing
 
     def determine_winners(self, instance: SingleTaskInstance) -> FptasResult:
         """Run only the winner-determination stage (Algorithm 2)."""
@@ -95,15 +109,35 @@ class SingleTaskMechanism:
         ``compute_rewards=False`` skips the per-winner critical-bid searches,
         which dominate the running time; social-cost experiments use it.
         """
-        allocation = self.determine_winners(instance)
+        # Imported lazily: repro.perf depends on repro.core, not vice versa.
+        from repro.perf.instrumentation import PerfCounters
+
+        counters = PerfCounters()
+        with counters.stage("winner_determination"):
+            allocation = fptas_min_knapsack(instance, self.epsilon, counters=counters)
         rewards: dict[int, ECReward] = {}
         if compute_rewards:
-            for uid in sorted(allocation.selected):
-                q_bar = critical_contribution_single(
-                    instance, uid, epsilon=self.epsilon, tolerance=self.tolerance
-                )
-                cost = instance.costs[instance.index_of(uid)]
-                rewards[uid] = ec_reward(uid, q_bar, cost, self.alpha)
+            with counters.stage("reward_determination"):
+                if self.pricing == "fast":
+                    from repro.perf.single_pricer import SingleTaskPricer
+
+                    pricer = SingleTaskPricer(
+                        instance,
+                        epsilon=self.epsilon,
+                        tolerance=self.tolerance,
+                        counters=counters,
+                    )
+                    criticals = pricer.price_all(allocation.selected)
+                else:
+                    criticals = {
+                        uid: critical_contribution_single(
+                            instance, uid, epsilon=self.epsilon, tolerance=self.tolerance
+                        )
+                        for uid in sorted(allocation.selected)
+                    }
+                for uid, q_bar in criticals.items():
+                    cost = instance.costs[instance.index_of(uid)]
+                    rewards[uid] = ec_reward(uid, q_bar, cost, self.alpha)
         winner_contributions = [
             instance.contributions[instance.index_of(uid)] for uid in allocation.selected
         ]
@@ -113,4 +147,5 @@ class SingleTaskMechanism:
             social_cost=allocation.total_cost,
             achieved_pos=achieved_pos(winner_contributions),
             allocation=allocation,
+            perf=counters,
         )

@@ -1,0 +1,354 @@
+"""Batch counterfactual pricing for the multi-task mechanism (Algorithm 5).
+
+The reference reward scheme reruns the full greedy (Algorithm 4) once per
+winner on ``instance.without_user(i)`` — a fresh object copy, a fresh
+contribution matrix, and a full O(n²t) loop each time.  :class:`BatchPricer`
+exploits the **shared-prefix invariant** instead:
+
+    When pricing winner ``i``, the greedy run without ``i`` selects exactly
+    the same users, in the same order, with the same residuals, as the
+    original run — up to the iteration where ``i`` was first selected.
+    Before that point ``i`` was present but never chosen, and the selection
+    rule only compares the *chosen* row against the rest, so deleting a
+    never-chosen row cannot change any earlier decision.
+
+So the counterfactual trace for winner ``i`` is ``original_iterations[:m_i]``
+(shared, already computed) plus a replay resumed from a snapshot of the
+residual vector and active set taken just before iteration ``m_i``.  For a
+*loser* the counterfactual trace is the original trace verbatim and no
+replay runs at all.
+
+The replay itself is a **lazy greedy** (Minoux's accelerated greedy):
+capped gains ``Σ_j min{q_i^j, Q̄_j}`` are monotone non-increasing as the
+residuals shrink, so a ratio computed at any earlier point is a valid upper
+bound on a row's current ratio.  Each iteration pops the largest stale
+bound from a max-heap, recomputes just that one row (O(t) instead of
+O(n·t)), and selects it once its *fresh* ratio beats the next stale bound
+by more than ``ε`` — which certifies it is the unique ``ε``-margin argmax
+the reference rule would pick.  When the fresh top is within ``ε`` of the
+next bound, the replay falls back to the full vectorised scan with the
+reference tie-chain (:func:`repro.core.greedy.select_best_row`), so
+ε-level ratio ties resolve exactly as in ``greedy_allocation``.
+
+All winners are priced against one shared contribution matrix and cost
+vector built once per instance — no per-winner ``AuctionInstance`` copies,
+and per-row gains are bit-identical to the matrix row sums (same values,
+same within-row reduction order).  The pinning property tests
+(``tests/perf/test_batch_pricer.py``) cross-check the fast path against
+full reruns, including on hypothesis-generated adversarial instances.
+"""
+
+from __future__ import annotations
+
+import heapq
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.critical import price_from_iterations
+from repro.core.errors import InfeasibleInstanceError, ValidationError
+from repro.core.greedy import (
+    GreedyIteration,
+    GreedyTrace,
+    positive_residual_snapshot,
+    select_best_row,
+)
+from repro.core.types import AuctionInstance
+
+from .instrumentation import PerfCounters
+
+__all__ = ["BatchPricer"]
+
+_EPS = 1e-12
+
+
+class _ResidualView:
+    """Read-only mapping view of a residual vector (supports ``.get`` only).
+
+    ``price_from_iterations`` reads ``residual_before`` exclusively through
+    ``.get(task_id, 0.0)``; backing it with the O(t) vector copy instead of
+    building a per-iteration dict keeps counterfactual iterations cheap.
+    Values are identical to the dict snapshot's: satisfied tasks hold an
+    exact ``0.0`` (the residual update clamps at zero).
+    """
+
+    __slots__ = ("_residual", "_index")
+
+    def __init__(self, residual: np.ndarray, index: dict[int, int]):
+        self._residual = residual
+        self._index = index
+
+    def get(self, task_id: int, default: float = 0.0) -> float:
+        k = self._index.get(task_id)
+        if k is None:
+            return default
+        return float(self._residual[k])
+
+
+class BatchPricer:
+    """Prices every winner of one multi-task instance via prefix-reused replay.
+
+    Construction runs the (instrumented) greedy once, recording a residual
+    snapshot per iteration; :meth:`price` then resumes from the snapshot at
+    the priced user's selection point, and :meth:`price_all` prices every
+    winner, optionally fanning out across threads (the replay only touches
+    shared read-only arrays plus per-call copies, so it is thread-safe).
+
+    Critical bids are bit-identical to
+    :func:`repro.core.critical.critical_contribution_multi` — the replay
+    performs the same float operations on the same values, and the final
+    pricing arithmetic is literally the same function
+    (:func:`repro.core.critical.price_from_iterations`).
+
+    Args:
+        instance: The declared multi-task instance.
+        method: ``"threshold"`` (default) or ``"paper"`` — same meaning as
+            in :func:`critical_contribution_multi`.
+        counters: Optional shared :class:`PerfCounters`; a private one is
+            created otherwise (exposed as ``.counters``).
+        require_feasible: Passed to the master greedy run; ``True`` raises
+            :class:`InfeasibleInstanceError` when requirements cannot be met.
+    """
+
+    def __init__(
+        self,
+        instance: AuctionInstance,
+        method: str = "threshold",
+        counters: PerfCounters | None = None,
+        require_feasible: bool = True,
+    ):
+        if method not in ("threshold", "paper"):
+            raise ValidationError(f"unknown critical-bid method {method!r}")
+        self.instance = instance
+        self.method = method
+        self.counters = counters if counters is not None else PerfCounters()
+
+        # Shared arrays, built once — mirrors greedy_allocation's layout.
+        self._task_ids = [t.task_id for t in instance.tasks]
+        task_index = {tid: k for k, tid in enumerate(self._task_ids)}
+        self._task_index = task_index
+        users = sorted(instance.users, key=lambda u: u.user_id)
+        n = len(users)
+        self._contrib = np.zeros((n, len(self._task_ids)))
+        for row, user in enumerate(users):
+            for tid in user.pos:
+                self._contrib[row, task_index[tid]] = user.contribution(tid)
+        self._costs = np.array([u.cost for u in users])
+        self._uids = [u.user_id for u in users]
+        self._row_of = {u.user_id: row for row, u in enumerate(users)}
+        self._initial_residual = np.array(
+            [t.contribution_requirement for t in instance.tasks]
+        )
+
+        self._run_master(require_feasible)
+
+    # ------------------------------------------------------------------ #
+    # Master run (Algorithm 4) with per-iteration snapshots
+    # ------------------------------------------------------------------ #
+
+    def _run_master(self, require_feasible: bool) -> None:
+        n = len(self._uids)
+        residual = self._initial_residual.copy()
+        # Active rows as a compressed ascending index array instead of a
+        # boolean mask: per-iteration work shrinks with each selection
+        # (O((n−m)·t) instead of O(n·t)), while every per-row reduction is
+        # computed on the same values in the same order, so gains/ratios —
+        # and hence the trace — stay bit-identical to greedy_allocation.
+        rows = np.arange(n)
+        selected_rows: list[int] = []
+        iterations: list[GreedyIteration] = []
+        snapshots: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+
+        while (residual > _EPS).any():
+            gains = np.minimum(self._contrib[rows], residual[None, :]).sum(axis=1)
+            ratios = gains / self._costs[rows]
+            self.counters.greedy_iterations += 1
+            local = select_best_row(gains, ratios)
+            if local < 0:
+                if require_feasible:
+                    uncovered = frozenset(
+                        tid
+                        for k, tid in enumerate(self._task_ids)
+                        if residual[k] > _EPS
+                    )
+                    raise InfeasibleInstanceError(
+                        f"tasks {sorted(uncovered)} cannot reach their requirements",
+                        uncoverable_tasks=uncovered,
+                    )
+                break
+            best_row = int(rows[local])
+            # The snapshot keeps the exact ratios too: they seed the lazy
+            # replay's upper-bound heap without any recomputation.
+            snapshots.append((residual.copy(), rows, ratios))
+            iterations.append(
+                GreedyIteration(
+                    user_id=self._uids[best_row],
+                    residual_before=positive_residual_snapshot(residual, self._task_ids),
+                    gain=float(gains[local]),
+                    ratio=float(ratios[local]),
+                    cost=float(self._costs[best_row]),
+                )
+            )
+            selected_rows.append(best_row)
+            rows = np.delete(rows, local)
+            residual = np.maximum(0.0, residual - self._contrib[best_row])
+
+        self._selected_rows = selected_rows
+        self._position = {self._uids[row]: m for m, row in enumerate(selected_rows)}
+        self._snapshots = snapshots
+        self.trace = GreedyTrace(
+            selected=tuple(self._uids[row] for row in selected_rows),
+            iterations=tuple(iterations),
+            residual_after={
+                tid: float(residual[k]) for k, tid in enumerate(self._task_ids)
+            },
+            satisfied=bool((residual <= _EPS).all()),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Counterfactual replay
+    # ------------------------------------------------------------------ #
+
+    def _replay_without(
+        self, start: int, excluded_row: int, counters: PerfCounters
+    ) -> tuple[tuple[GreedyIteration, ...], bool]:
+        """Resume the greedy from iteration ``start`` with one row removed.
+
+        Lazy-greedy loop: the heap holds ``(-ratio_bound, row)`` where the
+        bound is the row's ratio at some earlier residual — an upper bound
+        on its current ratio because capped gains only shrink.  A popped row
+        whose *fresh* ratio beats the next bound by more than ``ε`` is the
+        unique ε-margin argmax, so the reference scan would select it too;
+        anything closer goes through the full reference tie-chain.  A row
+        whose fresh gain drops to ``≤ ε`` can never become eligible again
+        and leaves the heap for good.
+        """
+        snap_residual, snap_rows, snap_ratios = self._snapshots[start]
+        residual = snap_residual.copy()
+        contrib = self._contrib
+        costs = self._costs
+        alive = np.zeros(len(self._uids), dtype=bool)
+        alive[snap_rows] = True
+        alive[excluded_row] = False
+        # Seed with the master run's exact ratios at this iteration.
+        heap = [
+            (-ratio, int(row))
+            for ratio, row in zip(snap_ratios, snap_rows)
+            if row != excluded_row
+        ]
+        heapq.heapify(heap)
+        # stamp[row] == current iteration marks a bound as freshly computed;
+        # fresh_gain[row] then holds the matching gain.
+        stamp = np.zeros(len(self._uids), dtype=np.int64)
+        fresh_gain = np.empty(len(self._uids))
+        iterations: list[GreedyIteration] = []
+        executed = 0
+        fallback = object()
+
+        while residual.max() > _EPS:
+            executed += 1
+            sel: object = None
+            while heap:
+                neg_bound, row = heapq.heappop(heap)
+                if not alive[row]:
+                    continue
+                if stamp[row] == executed:
+                    gain, ratio = fresh_gain[row], -neg_bound
+                else:
+                    gain = np.minimum(contrib[row], residual).sum()
+                    if gain <= _EPS:
+                        continue  # gains only shrink: permanently ineligible
+                    ratio = gain / costs[row]
+                    stamp[row] = executed
+                    fresh_gain[row] = gain
+                next_bound = -heap[0][0] if heap else -np.inf
+                if ratio > next_bound + _EPS:
+                    sel = (row, gain, ratio)
+                    break
+                if ratio >= next_bound:
+                    # Fresh top within ε of the next bound: possible ε-tie.
+                    heapq.heappush(heap, (-ratio, row))
+                    sel = fallback
+                    break
+                heapq.heappush(heap, (-ratio, row))  # tightened bound
+            if sel is fallback:
+                # Reference scan over all live rows (ascending user id).
+                live = np.flatnonzero(alive)
+                gains = np.minimum(contrib[live], residual[None, :]).sum(axis=1)
+                ratios = gains / costs[live]
+                local = select_best_row(gains, ratios)
+                if local < 0:
+                    break
+                sel = (int(live[local]), gains[local], ratios[local])
+            elif sel is None:
+                break  # heap exhausted: no row offers positive gain
+            row, gain, ratio = sel
+            iterations.append(
+                GreedyIteration(
+                    user_id=self._uids[row],
+                    residual_before=_ResidualView(residual.copy(), self._task_index),
+                    gain=float(gain),
+                    ratio=float(ratio),
+                    cost=float(costs[row]),
+                )
+            )
+            alive[row] = False
+            np.subtract(residual, contrib[row], out=residual)
+            np.maximum(residual, 0.0, out=residual)
+
+        counters.greedy_iterations += executed
+        return tuple(iterations), bool((residual <= _EPS).all())
+
+    # ------------------------------------------------------------------ #
+    # Pricing
+    # ------------------------------------------------------------------ #
+
+    def price(self, user_id: int, counters: PerfCounters | None = None) -> float:
+        """Critical total contribution of one user (winner or loser).
+
+        Bit-identical to ``critical_contribution_multi(instance, user_id,
+        method)`` but without rebuilding the instance or rerunning the
+        shared prefix.
+        """
+        counters = counters if counters is not None else self.counters
+        user = self.instance.user_by_id(user_id)
+        if user_id in self._position:
+            start = self._position[user_id]
+            suffix, satisfied = self._replay_without(
+                start, self._row_of[user_id], counters
+            )
+            iterations = self.trace.iterations[:start] + suffix
+            counters.greedy_prefix_iterations_reused += start
+        else:
+            # A never-selected user cannot change any iteration: the
+            # counterfactual trace is the original trace verbatim.
+            iterations = self.trace.iterations
+            satisfied = self.trace.satisfied
+            counters.greedy_prefix_iterations_reused += len(iterations)
+        counters.counterfactual_runs += 1
+        return price_from_iterations(user, iterations, satisfied, self.method)
+
+    def price_all(self, max_workers: int | None = None) -> dict[int, float]:
+        """Critical bids for every winner, in selection order.
+
+        Args:
+            max_workers: Opt-in thread fan-out across winners (``None`` or
+                ``<= 1`` prices sequentially).  Workers accumulate into
+                private counter sets merged back at the end, so the shared
+                counters stay consistent.
+        """
+        winners = self.trace.selected
+        if max_workers is None or max_workers <= 1 or len(winners) < 2:
+            return {uid: self.price(uid) for uid in winners}
+
+        worker_counters = [PerfCounters() for _ in winners]
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            prices = list(
+                pool.map(
+                    lambda pair: self.price(pair[0], counters=pair[1]),
+                    zip(winners, worker_counters),
+                )
+            )
+        for wc in worker_counters:
+            self.counters.merge(wc)
+        return dict(zip(winners, prices))

@@ -1,0 +1,321 @@
+"""Memoized critical-bid search for the single-task mechanism (Algorithm 3).
+
+The reference search (:func:`repro.core.critical.critical_contribution_single`)
+binary-searches a winner's critical contribution by rerunning the *entire*
+FPTAS (Algorithm 2) per probe — ~30–50 full O(n⁴/ε) runs per winner.
+:class:`SingleTaskPricer` keeps the probes bit-identical while removing the
+redundant work between them:
+
+* **Monotone verdict memo** — by Lemma 1 a win at ``q`` proves wins at every
+  ``q' ≥ q`` and a loss proves losses below, so repeated probes (and any
+  probe at the declared value, which equals the cached original allocation)
+  never recompute.
+* **Static-subproblem cache** — FPTAS subproblem ``k`` restricts attention
+  to the ``k`` cheapest users.  Costs never change during a critical-bid
+  search, so the sort order is fixed; when the probed user ranks at ``r``
+  (0-based, by ``(cost, user_id)``), every subproblem with ``k ≤ r``
+  excludes her entirely and its solution is independent of the probe.  Those
+  are solved once, globally, and reused across probes *and* winners.
+* **Shared-prefix DP snapshots** — for subproblems with ``k > r`` the DP
+  item layers ``0..r-1`` carry the original contributions, so the DP state
+  (value row and decision bits) after layer ``r-1`` is snapshotted on the
+  first probe and every later probe resumes from it, re-running only layers
+  ``r..k-1``.  This is the knapsack analogue of the greedy prefix replay in
+  :class:`repro.perf.batch_pricer.BatchPricer`.
+* **Scaled-cost cache** — the integer cost vectors ``⌊c_j/μ_k⌋`` depend
+  only on costs and ε; computed once per ``k``.
+
+All DP layers run through the same row kernel as the reference solver
+(:func:`repro.core.fptas._dp_rows`), so the float operations — and hence
+winner sets, verdicts, and critical bids — are identical.  The pinning
+property tests live in ``tests/perf/test_single_pricer.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.critical import DEFAULT_TOLERANCE
+from repro.core.errors import CriticalBidError, ValidationError
+from repro.core.fptas import (
+    DEFAULT_EPSILON,
+    _EPS,
+    _check_dp_cells,
+    _dp_rows,
+    _reconstruct,
+)
+from repro.core.types import SingleTaskInstance
+
+from .instrumentation import PerfCounters
+
+__all__ = ["SingleTaskPricer", "critical_contribution_single_fast"]
+
+#: Prefix DP snapshots (value row + decision bits per subproblem) are kept
+#: only while their total size stays below this many cells; beyond it the
+#: pricer falls back to recomputing full subproblems per probe.
+DEFAULT_SNAPSHOT_CELLS = 64_000_000
+
+
+class SingleTaskPricer:
+    """Prices single-task winners with memoized, prefix-reused FPTAS probes.
+
+    Args:
+        instance: The declared single-task instance.
+        epsilon: FPTAS approximation parameter (must match the one used for
+            the real allocation, as in the reference search).
+        tolerance: Absolute stopping tolerance of the binary search.
+        counters: Optional shared :class:`PerfCounters`.
+        snapshot_cells: Memory budget (in DP cells) for prefix snapshots.
+
+    Unlike the reference function this pricer always prices against the
+    FPTAS (no ``allocator`` override); use the reference for custom
+    allocators.
+    """
+
+    def __init__(
+        self,
+        instance: SingleTaskInstance,
+        epsilon: float = DEFAULT_EPSILON,
+        tolerance: float = DEFAULT_TOLERANCE,
+        counters: PerfCounters | None = None,
+        snapshot_cells: int = DEFAULT_SNAPSHOT_CELLS,
+    ):
+        if epsilon <= 0 or not math.isfinite(epsilon):
+            raise ValidationError(f"epsilon must be positive and finite, got {epsilon!r}")
+        self.instance = instance
+        self.epsilon = float(epsilon)
+        self.tolerance = tolerance
+        self.counters = counters if counters is not None else PerfCounters()
+
+        n = instance.n_users
+        self._n = n
+        self._order = sorted(
+            range(n), key=lambda i: (instance.costs[i], instance.user_ids[i])
+        )
+        self._costs = np.array([instance.costs[i] for i in self._order], dtype=float)
+        self._base_contribs = np.array(
+            [instance.contributions[i] for i in self._order], dtype=float
+        )
+        self._sorted_uids = tuple(instance.user_ids[i] for i in self._order)
+        self._rank_of = {uid: r for r, uid in enumerate(self._sorted_uids)}
+
+        # Global caches (valid for every probe and every priced user).
+        self._scaled_cache: dict[int, tuple[np.ndarray, int]] = {}
+        self._static_cache: dict[int, tuple[frozenset[int], int] | None] = {}
+        self._original_selected: frozenset[int] | None = None
+
+        # Per-priced-user prefix state.
+        self._snapshot_budget = snapshot_cells
+        self._prefix_user: int | None = None
+        self._prefix: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._prefix_cells = 0
+        self._win_bound = math.inf
+        self._loss_bound = -math.inf
+
+    # ------------------------------------------------------------------ #
+    # FPTAS replication with caches
+    # ------------------------------------------------------------------ #
+
+    def _scaled(self, k: int) -> tuple[np.ndarray, int]:
+        """Integer scaled costs and ``c_max`` for subproblem ``k`` (cached)."""
+        cached = self._scaled_cache.get(k)
+        if cached is None:
+            mu_k = self.epsilon * float(self._costs[k - 1]) / k
+            ints = np.floor(self._costs[:k] / mu_k).astype(np.int64)
+            cached = (ints, int(ints.sum()))
+            self._scaled_cache[k] = cached
+        return cached
+
+    def _solve_static(self, k: int) -> tuple[frozenset[int], int] | None:
+        """Subproblem ``k`` over the original contributions (cached forever)."""
+        if k in self._static_cache:
+            ints, c_max = self._scaled(k)
+            self.counters.fptas_subproblems_cached += 1
+            self.counters.fptas_dp_cells_reused += k * (c_max + 1)
+            return self._static_cache[k]
+        solved = self._solve_fresh(k, self._base_contribs, 0)
+        self._static_cache[k] = solved
+        return solved
+
+    def _solve_fresh(
+        self, k: int, contribs: np.ndarray, rank: int
+    ) -> tuple[frozenset[int], int] | None:
+        """Run subproblem ``k`` in full, snapshotting the prefix if it fits."""
+        ints, c_max = self._scaled(k)
+        _check_dp_cells(k, c_max)
+        self.counters.fptas_subproblems += 1
+        best = np.full(c_max + 1, -np.inf)
+        best[0] = 0.0
+        take = np.zeros((k, c_max + 1), dtype=bool)
+        if 0 < rank < k:
+            _dp_rows(best, take, ints, contribs, 0, rank, counters=self.counters)
+            cells = k * (c_max + 1)
+            if self._prefix_cells + cells <= self._snapshot_budget:
+                self._prefix[k] = (best.copy(), take)
+                self._prefix_cells += cells
+            _dp_rows(best, take, ints, contribs, rank, k, counters=self.counters)
+        else:
+            _dp_rows(best, take, ints, contribs, 0, k, counters=self.counters)
+        return self._finish(k, ints, best, take)
+
+    def _solve_dynamic(
+        self, k: int, contribs: np.ndarray, rank: int
+    ) -> tuple[frozenset[int], int] | None:
+        """Subproblem ``k > rank``: resume from the prefix snapshot if present."""
+        state = self._prefix.get(k)
+        if state is None:
+            return self._solve_fresh(k, contribs, rank)
+        ints, c_max = self._scaled(k)
+        self.counters.fptas_subproblems += 1
+        prefix_best, take = state
+        best = prefix_best.copy()
+        self.counters.fptas_dp_cells_reused += rank * (c_max + 1)
+        # Layers [rank, k) are rewritten in full below; layers [0, rank)
+        # keep their decision bits from the snapshot run.
+        _dp_rows(best, take, ints, contribs, rank, k, counters=self.counters)
+        return self._finish(k, ints, best, take)
+
+    def _finish(
+        self, k: int, ints: np.ndarray, best: np.ndarray, take: np.ndarray
+    ) -> tuple[frozenset[int], int] | None:
+        feasible = np.flatnonzero(best >= self.instance.requirement - _EPS)
+        if feasible.size == 0:
+            return None
+        target = int(feasible[0])
+        return frozenset(_reconstruct(take, ints, target)), target
+
+    def _allocate(self, rank: int, q: float) -> frozenset[int] | None:
+        """``fptas_min_knapsack(instance.with_contribution(uid, q), ε).selected``,
+        bit-identically, or ``None`` when the modified instance is infeasible.
+        """
+        instance = self.instance
+        at_declared = q == float(self._base_contribs[rank])
+        if at_declared and self._original_selected is not None:
+            self.counters.wins_cache_hits += 1
+            return self._original_selected
+
+        if instance.requirement <= _EPS:
+            return frozenset()
+        # Feasibility check identical to SingleTaskInstance.is_feasible():
+        # a python sum over the contribution tuple in original user order.
+        orig_idx = self._order[rank]
+        total = 0.0
+        for i, contribution in enumerate(instance.contributions):
+            total += q if i == orig_idx else contribution
+        if not (total >= instance.requirement - 1e-12):
+            return None
+
+        if at_declared:
+            contribs = self._base_contribs
+        else:
+            contribs = self._base_contribs.copy()
+            contribs[rank] = q
+        prefix = np.cumsum(contribs)
+        first_k = int(np.searchsorted(prefix, instance.requirement - _EPS) + 1)
+
+        best_cost = math.inf
+        best_items: frozenset[int] | None = None
+        for k in range(first_k, self._n + 1):
+            if rank >= k:
+                solved = self._solve_static(k)
+            else:
+                solved = self._solve_dynamic(k, contribs, rank)
+            if solved is None:
+                continue
+            items, _scaled_cost = solved
+            # Compare subproblems by ACTUAL cost; the paper's '<=' tie rule
+            # is kept: later subproblems win exact ties.
+            real_cost = float(self._costs[list(items)].sum())
+            if real_cost <= best_cost + _EPS:
+                best_cost = real_cost
+                best_items = items
+        assert best_items is not None, "at least one subproblem is feasible"
+        selected = frozenset(self._sorted_uids[i] for i in best_items)
+        if at_declared:
+            self._original_selected = selected
+        return selected
+
+    # ------------------------------------------------------------------ #
+    # Memoized monotone search
+    # ------------------------------------------------------------------ #
+
+    def _reset_user(self, user_id: int) -> None:
+        if self._prefix_user != user_id:
+            self._prefix_user = user_id
+            self._prefix = {}
+            self._prefix_cells = 0
+            self._win_bound = math.inf
+            self._loss_bound = -math.inf
+
+    def _wins(self, user_id: int, rank: int, contribution: float) -> bool:
+        """Memoized ``wins(q)``: Lemma-1 monotonicity short-circuits probes."""
+        self.counters.wins_evaluations += 1
+        if contribution >= self._win_bound:
+            self.counters.wins_cache_hits += 1
+            return True
+        if contribution <= self._loss_bound:
+            self.counters.wins_cache_hits += 1
+            return False
+        selected = self._allocate(rank, contribution)
+        won = selected is not None and user_id in selected
+        if won:
+            self._win_bound = min(self._win_bound, contribution)
+        else:
+            self._loss_bound = max(self._loss_bound, contribution)
+        return won
+
+    def critical(self, user_id: int) -> float:
+        """Critical contribution of ``user_id``; mirrors
+        :func:`repro.core.critical.critical_contribution_single` probe by
+        probe (identical bisection arithmetic, identical verdicts).
+
+        Raises:
+            CriticalBidError: If the user does not win at her declared
+                contribution.
+        """
+        self._reset_user(user_id)
+        rank = self._rank_of[user_id]
+        declared = self.instance.contributions[self.instance.index_of(user_id)]
+        if not self._wins(user_id, rank, declared):
+            raise CriticalBidError(
+                f"user {user_id} does not win at the declared contribution {declared:.6g}"
+            )
+        if self._wins(user_id, rank, 0.0):
+            # The user wins even contributing nothing; the boundary is at zero.
+            return 0.0
+
+        low, high = 0.0, max(self.instance.requirement, declared)
+        # By monotonicity (Lemma 1), wins(high) holds because high >= declared.
+        while high - low > self.tolerance:
+            mid = 0.5 * (low + high)
+            if self._wins(user_id, rank, mid):
+                high = mid
+            else:
+                low = mid
+        return high
+
+    def price_all(self, user_ids) -> dict[int, float]:
+        """Critical contributions for a set of winners, in ascending id order
+        (the order :class:`repro.core.single_task.SingleTaskMechanism` uses).
+        """
+        return {uid: self.critical(uid) for uid in sorted(user_ids)}
+
+
+def critical_contribution_single_fast(
+    instance: SingleTaskInstance,
+    user_id: int,
+    epsilon: float = DEFAULT_EPSILON,
+    tolerance: float = DEFAULT_TOLERANCE,
+    counters: PerfCounters | None = None,
+) -> float:
+    """One-shot convenience wrapper around :class:`SingleTaskPricer`.
+
+    For pricing several winners of the same instance, build one pricer and
+    call :meth:`SingleTaskPricer.critical` repeatedly — the static
+    subproblem and original-allocation caches then carry across winners.
+    """
+    return SingleTaskPricer(
+        instance, epsilon=epsilon, tolerance=tolerance, counters=counters
+    ).critical(user_id)

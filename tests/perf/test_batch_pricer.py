@@ -1,0 +1,100 @@
+"""Property tests: BatchPricer is bit-identical to the reference reward scheme.
+
+The batch engine replays counterfactual greedy runs from shared-prefix
+snapshots with a lazy-greedy heap; these tests pin its output — winner sets,
+traces, and critical bids — to ``critical_contribution_multi``'s per-user
+full reruns, under hypothesis-generated instances and for both pricing
+methods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.critical import critical_contribution_multi
+from repro.core.errors import ValidationError
+from repro.core.greedy import greedy_allocation
+from repro.perf import BatchPricer, PerfCounters
+from repro.perf.batch_pricer import _ResidualView
+
+from ..conftest import make_random_multi_task, multi_task_instances
+
+
+@settings(deadline=None, max_examples=40)
+@given(instance=multi_task_instances())
+@pytest.mark.parametrize("method", ["threshold", "paper"])
+def test_prices_match_reference_for_all_users(instance, method):
+    """Every user — winner or loser — gets the exact reference price."""
+    pricer = BatchPricer(instance, method=method, require_feasible=False)
+    batch = pricer.price_all()
+    for user in instance.users:
+        reference = critical_contribution_multi(instance, user.user_id, method)
+        if user.user_id in pricer.trace.selected_set:
+            assert batch[user.user_id] == reference
+        else:
+            assert pricer.price(user.user_id) == reference
+
+
+@settings(deadline=None, max_examples=40)
+@given(instance=multi_task_instances())
+def test_master_trace_equals_greedy_allocation(instance):
+    """The pricer's own winner determination is the vectorised greedy, verbatim."""
+    assert BatchPricer(instance, require_feasible=False).trace == greedy_allocation(
+        instance, require_feasible=False
+    )
+
+
+def test_prefix_reuse_counters_accumulate(rng):
+    instance = make_random_multi_task(rng, n_users=30, n_tasks=5)
+    counters = PerfCounters()
+    pricer = BatchPricer(instance, counters=counters, require_feasible=False)
+    pricer.price_all()
+    assert counters.counterfactual_runs == len(pricer.trace.selected)
+    # The first counterfactual (excluding the first winner) shares no prefix,
+    # but later ones must: reuse has to show up on any multi-winner run.
+    if len(pricer.trace.selected) > 1:
+        assert counters.greedy_prefix_iterations_reused > 0
+    assert counters.greedy_iterations > 0
+
+
+def test_loser_price_reuses_full_master_trace(rng):
+    instance = make_random_multi_task(rng, n_users=20, n_tasks=4)
+    counters = PerfCounters()
+    pricer = BatchPricer(instance, counters=counters, require_feasible=False)
+    losers = [
+        u.user_id for u in instance.users if u.user_id not in pricer.trace.selected_set
+    ]
+    if not losers:
+        pytest.skip("instance has no losers")
+    before = counters.greedy_iterations
+    pricer.price(losers[0])
+    # A loser's counterfactual is the master trace verbatim: no replay at all.
+    assert counters.greedy_iterations == before
+    assert counters.greedy_prefix_iterations_reused >= len(pricer.trace.iterations)
+
+
+def test_parallel_price_all_matches_sequential(rng):
+    instance = make_random_multi_task(rng, n_users=25, n_tasks=4)
+    pricer = BatchPricer(instance, require_feasible=False)
+    sequential = pricer.price_all()
+    counters = PerfCounters()
+    threaded = BatchPricer(instance, counters=counters, require_feasible=False)
+    assert threaded.price_all(max_workers=2) == sequential
+    # Per-worker counters are merged back into the shared instance.
+    assert counters.counterfactual_runs == len(pricer.trace.selected)
+
+
+def test_rejects_unknown_method(small_multi_task):
+    with pytest.raises(ValidationError):
+        BatchPricer(small_multi_task, method="bogus")
+
+
+def test_residual_view_matches_dict_semantics():
+    residual = np.array([0.5, 0.0, 1.25])
+    view = _ResidualView(residual, {10: 0, 11: 1, 12: 2})
+    assert view.get(10, 0.0) == 0.5
+    assert view.get(11, 0.0) == 0.0
+    assert view.get(12, 0.0) == 1.25
+    assert view.get(99, 0.0) == 0.0  # absent task -> default, like dict.get

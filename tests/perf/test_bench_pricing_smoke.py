@@ -1,0 +1,63 @@
+"""Smoke-mode run of the pricing benchmark (tier-1; full sizes are `-m perf`).
+
+Drives the exact functions behind ``BENCH_pricing.json`` at small sizes so
+every tier-1 run proves the benchmark harness works end to end: instances
+build, fast and reference paths agree exactly, and the reuse counters that
+justify the speedup actually fire.  Timing assertions stay loose — wall
+clock at smoke sizes is noise; the ≥5×/≥2× acceptance bars live in the
+``perf``-marked full-size test.
+"""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.bench_pricing import (
+    make_rank_spread_single,
+    make_winners_heavy_multi,
+    run_multi_bench,
+    run_single_bench,
+    write_records,
+)
+
+
+def test_multi_bench_smoke():
+    record = run_multi_bench(n_users=80, n_tasks=8, repeats=2)
+    assert record["exact_parity"] is True
+    assert record["n_winners"] > 10  # winners-heavy generator holds at small n
+    assert record["counters"]["greedy_prefix_iterations_reused"] > 0
+    assert record["prefix_reuse_fraction"] > 0.0
+    assert record["fast_seconds"] > 0.0 and record["reference_seconds"] > 0.0
+    # Shared-prefix replay should already win at smoke size; keep slack for
+    # timer noise on a loaded machine rather than pinning the full-size bar.
+    assert record["speedup"] > 1.0
+
+
+def test_single_bench_smoke():
+    record = run_single_bench(n_users=40, max_winners=3, repeats=1)
+    assert record["exact_parity"] is True
+    assert record["n_winners_priced"] == 3
+    assert record["counters"]["fptas_dp_cells_reused"] > 0
+    assert record["counters"]["wins_cache_hits"] > 0
+    assert record["speedup"] > 1.0
+
+
+def test_generators_are_deterministic():
+    a = make_winners_heavy_multi(30, 5, seed=9)
+    b = make_winners_heavy_multi(30, 5, seed=9)
+    assert [u.pos for u in a.users] == [u.pos for u in b.users]
+    assert make_rank_spread_single(20, seed=9) == make_rank_spread_single(20, seed=9)
+
+
+def test_write_records_merges_by_key(tmp_path):
+    path = tmp_path / "bench.json"
+    first = {"benchmark": "multi_task_reward_determination", "n_users": 10, "speedup": 2.0}
+    write_records([first], path=path)
+    second = {"benchmark": "multi_task_reward_determination", "n_users": 10, "speedup": 3.0}
+    other = {"benchmark": "single_task_critical_pricing", "n_users": 10, "speedup": 1.5}
+    payload = write_records([second, other], path=path)
+    records = json.loads(path.read_text())["records"]
+    assert records == payload["records"]
+    # Same key overwrites, different benchmark coexists.
+    assert records["multi_task_reward_determination_n10"]["speedup"] == 3.0
+    assert len(records) == 2

@@ -1,0 +1,79 @@
+"""The vectorised greedy reproduces the paper-literal reference trace exactly.
+
+``greedy_allocation`` (numpy argmax scan via ``select_best_row``) and
+``greedy_allocation_reference`` (pure-Python ascending-id loop) implement the
+same selection rule — strictly-better-by-``_EPS`` with ascending-id
+incumbents — so their full traces must be equal, not just their winner sets.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.errors import InfeasibleInstanceError
+from repro.core.greedy import (
+    greedy_allocation,
+    greedy_allocation_reference,
+    positive_residual_snapshot,
+)
+from repro.core.types import AuctionInstance, Task, UserType
+
+from ..conftest import make_random_multi_task, multi_task_instances
+
+
+@settings(deadline=None, max_examples=40)
+@given(instance=multi_task_instances())
+def test_traces_equal_on_random_instances(instance):
+    assert greedy_allocation(instance, require_feasible=False) == (
+        greedy_allocation_reference(instance, require_feasible=False)
+    )
+
+
+def test_traces_equal_on_larger_random_instance(rng):
+    instance = make_random_multi_task(rng, n_users=40, n_tasks=6)
+    assert greedy_allocation(instance, require_feasible=False) == (
+        greedy_allocation_reference(instance, require_feasible=False)
+    )
+
+
+def test_exact_ratio_tie_breaks_by_ascending_id():
+    """Clones with bit-identical gain/cost ratios: lowest id must win each round."""
+    tasks = [Task(0, 0.6), Task(1, 0.6)]
+    users = [
+        UserType(3, cost=2.0, pos={0: 0.5, 1: 0.5}),
+        UserType(1, cost=2.0, pos={0: 0.5, 1: 0.5}),
+        UserType(2, cost=2.0, pos={0: 0.5, 1: 0.5}),
+    ]
+    instance = AuctionInstance(tasks, users)
+    fast = greedy_allocation(instance, require_feasible=False)
+    assert fast.selected[0] == 1  # ascending-id incumbent among exact ties
+    assert fast == greedy_allocation_reference(instance, require_feasible=False)
+
+
+def test_infeasible_raises_same_error_payload():
+    tasks = [Task(0, 0.99), Task(1, 0.2)]
+    users = [UserType(1, cost=1.0, pos={1: 0.5})]  # nobody covers task 0
+    instance = AuctionInstance(tasks, users)
+    with pytest.raises(InfeasibleInstanceError) as fast_err:
+        greedy_allocation(instance)
+    with pytest.raises(InfeasibleInstanceError) as ref_err:
+        greedy_allocation_reference(instance)
+    assert str(fast_err.value) == str(ref_err.value)
+    assert fast_err.value.uncoverable_tasks == ref_err.value.uncoverable_tasks
+
+
+def test_positive_residual_snapshot_drops_satisfied_tasks():
+    import numpy as np
+
+    residual = np.array([0.7, 0.0, 1e-3])
+    snap = positive_residual_snapshot(residual, [10, 20, 30])
+    assert snap == {10: 0.7, 30: 1e-3}  # task 20 omitted, read back as 0.0
+    assert snap.get(20, 0.0) == 0.0
+
+
+def test_traces_keep_positive_only_residual_snapshots(rng):
+    instance = make_random_multi_task(rng, n_users=15, n_tasks=4)
+    trace = greedy_allocation(instance, require_feasible=False)
+    for iteration in trace.iterations:
+        assert all(r > 0.0 for r in iteration.residual_before.values())

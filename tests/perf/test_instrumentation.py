@@ -1,0 +1,76 @@
+"""Tests for the perf instrumentation layer (counters + stage timers)."""
+
+from __future__ import annotations
+
+import time
+
+from repro.perf.instrumentation import PerfCounters
+
+
+def test_counters_start_at_zero():
+    counters = PerfCounters()
+    assert counters.greedy_iterations == 0
+    assert counters.greedy_prefix_iterations_reused == 0
+    assert counters.counterfactual_runs == 0
+    assert counters.fptas_subproblems == 0
+    assert counters.fptas_subproblems_cached == 0
+    assert counters.fptas_dp_cells == 0
+    assert counters.fptas_dp_cells_reused == 0
+    assert counters.wins_evaluations == 0
+    assert counters.wins_cache_hits == 0
+    assert counters.stage_seconds == {}
+
+
+def test_stage_timer_accumulates_across_blocks():
+    counters = PerfCounters()
+    with counters.stage("work"):
+        time.sleep(0.01)
+    first = counters.stage_seconds["work"]
+    assert first > 0.0
+    with counters.stage("work"):
+        time.sleep(0.01)
+    assert counters.stage_seconds["work"] > first  # accumulates, not replaces
+
+
+def test_stage_timer_records_on_exception():
+    counters = PerfCounters()
+    try:
+        with counters.stage("failing"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert counters.stage_seconds["failing"] >= 0.0
+
+
+def test_merge_sums_counters_and_stages():
+    a = PerfCounters()
+    a.greedy_iterations = 3
+    a.counterfactual_runs = 1
+    with a.stage("s"):
+        pass
+    a.stage_seconds["s"] = 1.0
+
+    b = PerfCounters()
+    b.greedy_iterations = 4
+    b.wins_cache_hits = 2
+    b.stage_seconds["s"] = 0.5
+    b.stage_seconds["t"] = 2.0
+
+    a.merge(b)
+    assert a.greedy_iterations == 7
+    assert a.counterfactual_runs == 1
+    assert a.wins_cache_hits == 2
+    assert a.stage_seconds["s"] == 1.5
+    assert a.stage_seconds["t"] == 2.0
+
+
+def test_to_dict_round_trips_every_field():
+    counters = PerfCounters()
+    counters.fptas_dp_cells = 42
+    with counters.stage("alloc"):
+        pass
+    as_dict = counters.to_dict()
+    assert as_dict["fptas_dp_cells"] == 42
+    assert "alloc" in as_dict["stage_seconds"]
+    # Plain-JSON types only (the benchmark dumps this verbatim).
+    assert all(isinstance(k, str) for k in as_dict)

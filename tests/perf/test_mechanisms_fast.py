@@ -1,0 +1,76 @@
+"""Fast-path mechanisms produce outcomes equal to the reference pricing path.
+
+``MultiTaskMechanism``/``SingleTaskMechanism`` default to ``pricing="fast"``;
+the ``pricing="reference"`` escape hatch keeps the literal per-winner reruns.
+Outcome dataclasses exclude ``perf`` from equality, so ``==`` compares
+winners, rewards, social cost, achieved PoS, and traces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.core.multi_task import MultiTaskMechanism
+from repro.core.single_task import SingleTaskMechanism
+
+from ..conftest import make_random_multi_task, make_random_single_task
+
+
+@pytest.mark.parametrize("critical_method", ["threshold", "paper"])
+def test_multi_task_outcomes_equal(small_multi_task, critical_method):
+    fast = MultiTaskMechanism(critical_method=critical_method, pricing="fast")
+    reference = MultiTaskMechanism(critical_method=critical_method, pricing="reference")
+    assert fast.run(small_multi_task) == reference.run(small_multi_task)
+
+
+def test_multi_task_outcomes_equal_random(rng):
+    instance = make_random_multi_task(rng, n_users=25, n_tasks=4)
+    fast = MultiTaskMechanism(pricing="fast").run(instance)
+    reference = MultiTaskMechanism(pricing="reference").run(instance)
+    assert fast == reference
+    assert fast.rewards == reference.rewards
+
+
+def test_single_task_outcomes_equal(small_single_task):
+    fast = SingleTaskMechanism(pricing="fast").run(small_single_task)
+    reference = SingleTaskMechanism(pricing="reference").run(small_single_task)
+    assert fast == reference
+    assert fast.rewards == reference.rewards
+
+
+def test_single_task_outcomes_equal_random(rng):
+    instance = make_random_single_task(rng, n_users=15)
+    fast = SingleTaskMechanism(pricing="fast").run(instance)
+    reference = SingleTaskMechanism(pricing="reference").run(instance)
+    assert fast == reference
+
+
+def test_fast_multi_outcome_carries_perf_evidence(small_multi_task):
+    outcome = MultiTaskMechanism().run(small_multi_task)
+    perf = outcome.perf
+    assert perf is not None
+    assert perf.counterfactual_runs == len(outcome.winners)
+    assert "winner_determination" in perf.stage_seconds
+    assert "reward_determination" in perf.stage_seconds
+
+
+def test_fast_single_outcome_carries_perf_evidence(small_single_task):
+    outcome = SingleTaskMechanism().run(small_single_task)
+    perf = outcome.perf
+    assert perf is not None
+    assert perf.wins_evaluations > 0
+    assert "reward_determination" in perf.stage_seconds
+
+
+def test_parallel_fast_path_matches_sequential(rng):
+    instance = make_random_multi_task(rng, n_users=20, n_tasks=4)
+    mechanism = MultiTaskMechanism()
+    assert mechanism.run(instance, max_workers=2) == mechanism.run(instance)
+
+
+def test_unknown_pricing_mode_rejected():
+    with pytest.raises(ValidationError):
+        MultiTaskMechanism(pricing="bogus")
+    with pytest.raises(ValidationError):
+        SingleTaskMechanism(pricing="bogus")
