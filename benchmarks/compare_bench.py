@@ -1,0 +1,126 @@
+"""Diff two ``BENCH_*.json`` dumps and flag speedup regressions.
+
+Usage::
+
+    python benchmarks/compare_bench.py OLD.json NEW.json [--tolerance 0.8]
+
+Each dump is a ``{"records": {key: record}}`` mapping as written by
+:func:`benchmarks.bench_pricing.write_records`.  For every key present in
+both files the tool compares the ``speedup`` fields; a record **regresses**
+when ``new_speedup < tolerance * old_speedup`` (default tolerance 0.8, i.e.
+a >20% drop).  Keys present in only one file are reported but never fail
+the comparison — benchmarks come and go across PRs.
+
+Exit status: 0 when no record regresses, 1 otherwise — usable as a CI
+gate between a baseline dump and a fresh ``pytest -m perf`` run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Comparison", "load_records", "compare", "format_comparison", "main"]
+
+DEFAULT_TOLERANCE = 0.8
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One shared benchmark key's old-vs-new speedup verdict."""
+
+    key: str
+    old_speedup: float
+    new_speedup: float
+    tolerance: float
+
+    @property
+    def ratio(self) -> float:
+        return self.new_speedup / self.old_speedup if self.old_speedup else float("inf")
+
+    @property
+    def regressed(self) -> bool:
+        return self.new_speedup < self.tolerance * self.old_speedup
+
+
+def load_records(path: str | Path) -> dict[str, dict]:
+    """The ``records`` mapping of one benchmark dump."""
+    payload = json.loads(Path(path).read_text())
+    records = payload.get("records")
+    if not isinstance(records, dict):
+        raise ValueError(f"{path}: not a benchmark dump (missing 'records' mapping)")
+    return records
+
+
+def compare(
+    old: dict[str, dict],
+    new: dict[str, dict],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> tuple[list[Comparison], list[str], list[str]]:
+    """Compare shared keys; also return keys only in old / only in new."""
+    if not 0 < tolerance <= 1:
+        raise ValueError(f"tolerance must be in (0, 1], got {tolerance!r}")
+    shared = sorted(set(old) & set(new))
+    comparisons = [
+        Comparison(
+            key=key,
+            old_speedup=float(old[key]["speedup"]),
+            new_speedup=float(new[key]["speedup"]),
+            tolerance=tolerance,
+        )
+        for key in shared
+    ]
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    return comparisons, only_old, only_new
+
+
+def format_comparison(
+    comparisons: list[Comparison], only_old: list[str], only_new: list[str]
+) -> str:
+    lines = []
+    for c in comparisons:
+        verdict = "REGRESSED" if c.regressed else "ok"
+        lines.append(
+            f"{c.key:<44} {c.old_speedup:>7.2f}x -> {c.new_speedup:>7.2f}x "
+            f"({c.ratio:>6.1%} of old)  {verdict}"
+        )
+    for key in only_old:
+        lines.append(f"{key:<44} only in OLD (dropped)")
+    for key in only_new:
+        lines.append(f"{key:<44} only in NEW (added)")
+    if not lines:
+        lines.append("no records to compare")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json dumps; exit 1 on speedup regression."
+    )
+    parser.add_argument("old", type=Path, help="baseline benchmark dump")
+    parser.add_argument("new", type=Path, help="candidate benchmark dump")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="regression threshold: fail when new < tolerance * old "
+        f"(default {DEFAULT_TOLERANCE})",
+    )
+    args = parser.parse_args(argv)
+    comparisons, only_old, only_new = compare(
+        load_records(args.old), load_records(args.new), tolerance=args.tolerance
+    )
+    print(format_comparison(comparisons, only_old, only_new))
+    regressions = [c for c in comparisons if c.regressed]
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond tolerance {args.tolerance}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

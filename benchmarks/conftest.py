@@ -10,18 +10,39 @@ session:
 
 Each benchmark prints the reproduced table (run with ``-s`` to see it) and
 writes it to ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can
-quote the exact harness output.
+quote the exact harness output.  Every session also leaves a provenance
+record — ``benchmarks/results/MANIFEST.json`` — naming the platform,
+package versions, wall clock, and the result files (re)written, so a
+benchmark number can always be traced back to the environment that
+produced it.
 """
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 
 import pytest
 
+from repro.obs import RunManifest, new_run_id
 from repro.simulation.experiments import ExperimentResult, build_testbed
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def session_manifest():
+    """Write ``results/MANIFEST.json`` for the benchmark session (twice:
+    at start for crash-safety, finalized with wall clock + artifacts)."""
+    manifest = RunManifest(run_id=new_run_id("bench"), command="benchmarks")
+    manifest.write(RESULTS_DIR)
+    start = time.perf_counter()
+    yield manifest
+    manifest.wall_clock_seconds = time.perf_counter() - start
+    manifest.artifacts = sorted(
+        p.name for p in RESULTS_DIR.iterdir() if p.name != "MANIFEST.json"
+    )
+    manifest.write(RESULTS_DIR)
 
 
 @pytest.fixture(scope="session")
@@ -35,10 +56,12 @@ def citywide_testbed():
 
 
 @pytest.fixture
-def record_result():
+def record_result(session_manifest):
     """Print a reproduced experiment and persist it under results/."""
 
     def _record(result: ExperimentResult, benchmark=None) -> ExperimentResult:
+        if result.experiment_id not in session_manifest.experiments:
+            session_manifest.experiments.append(result.experiment_id)
         table = result.to_table()
         print("\n" + table)
         if result.extras:

@@ -5,19 +5,32 @@ Usage::
     python -m repro list
     python -m repro run fig5a
     python -m repro run fig3 --n-taxis 400 --seed 7
-    python -m repro run all
+    python -m repro run all --json
+    python -m repro run fig5b --trace --quick --out-dir /tmp/demo
+    python -m repro report /tmp/demo
 
 Each experiment prints the same rows/series the paper's figure plots (see
 EXPERIMENTS.md for the paper-vs-measured comparison).  Testbeds are built
 once per invocation and shared across experiments.
+
+Every ``run`` writes a run directory (default ``runs/<run-id>``) holding a
+``MANIFEST.json`` provenance record, an ``events.jsonl`` event stream, and
+one CSV per experiment.  ``--trace`` additionally streams the full span
+hierarchy and auction audit trail into the JSONL; ``report`` reconstructs
+stage timings, reuse fractions, and per-winner payment explanations from
+that directory alone.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import json
 import sys
 import time
+from pathlib import Path
 
+from .obs import EventLog, RunManifest, Tracer, build_report, format_report, new_run_id
 from .simulation import experiments as exp
 
 #: experiment id -> (driver, testbed kind)
@@ -36,6 +49,33 @@ EXPERIMENTS = {
     "ablation-smoothing": (exp.run_ablation_smoothing, "citywide"),
 }
 
+#: Small per-driver overrides for ``--quick``: minutes become seconds while
+#: every driver still exercises its full code path (spans, audit, CSV).
+QUICK_OVERRIDES = {
+    "fig3": {"m_values": (3, 9)},
+    "fig4": {"bins": 10},
+    "fig5a": {"n_users_list": (10, 14), "repeats": 1},
+    "fig5b": {"n_users_list": (10, 15), "n_tasks": 5, "repeats": 1},
+    "fig5c": {"n_tasks_list": (5, 8), "n_users": 12, "repeats": 1},
+    "fig6": {
+        "single_task_runs": 2,
+        "single_task_users": 12,
+        "multi_task_users": 15,
+        "multi_task_tasks": 6,
+    },
+    "fig7": {"n_users": 15, "n_tasks": 6, "repeats": 1},
+    "fig8": {"requirements": (0.5, 0.7), "n_users": 15, "n_tasks": 8, "repeats": 1},
+    "fig9": {"requirements": (0.5, 0.7), "n_users": 15, "n_tasks": 8, "repeats": 1},
+    "ablation-epsilon": {"epsilons": (1.0, 0.5), "n_users": 12, "repeats": 1},
+    "ablation-delta-q": {
+        "delta_q_values": (0.2, 0.1),
+        "n_users": 12,
+        "n_tasks": 6,
+        "repeats": 1,
+    },
+    "ablation-smoothing": {"m_values": (3, 9)},
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -50,19 +90,175 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
     run.add_argument("--n-taxis", type=int, default=250, help="fleet size (default 250)")
     run.add_argument("--seed", type=int, default=42, help="testbed RNG seed (default 42)")
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON document instead of tables",
+    )
+    run.add_argument(
+        "--out-dir",
+        type=Path,
+        default=None,
+        help="run directory for manifest/events/CSVs (default runs/<run-id>)",
+    )
+    run.add_argument(
+        "--trace",
+        action="store_true",
+        help="stream the span hierarchy and auction audit trail to events.jsonl",
+    )
+    run.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink every experiment to a smoke-test size",
+    )
+
+    report = sub.add_parser(
+        "report", help="reconstruct a run from its manifest + events.jsonl"
+    )
+    report.add_argument("run_dir", type=Path, help="run directory written by 'run'")
+    report.add_argument(
+        "--json", action="store_true", help="emit the report as one JSON document"
+    )
     return parser
 
 
-def _run_one(name: str, testbeds: dict[str, exp.Testbed]) -> None:
+def _run_one(
+    name: str,
+    testbeds: dict[str, exp.Testbed],
+    tracer=None,
+    quick: bool = False,
+) -> tuple[exp.ExperimentResult, float]:
     driver, kind = EXPERIMENTS[name]
+    kwargs = dict(QUICK_OVERRIDES.get(name, {})) if quick else {}
+    if tracer is not None and "tracer" in inspect.signature(driver).parameters:
+        kwargs["tracer"] = tracer
     start = time.perf_counter()
-    result = driver(testbeds[kind])
+    result = driver(testbeds[kind], **kwargs)
     elapsed = time.perf_counter() - start
-    print(result.to_table())
-    if result.extras:
-        for key, value in sorted(result.extras.items()):
-            print(f"# {key} = {value}")
-    print(f"# completed in {elapsed:.1f}s\n")
+    return result, elapsed
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    run_id = new_run_id(args.experiment)
+    out_dir = args.out_dir if args.out_dir is not None else Path("runs") / run_id
+    quiet = args.json
+
+    manifest = RunManifest(
+        run_id=run_id,
+        command="run",
+        experiments=names,
+        seed=args.seed,
+        config={
+            "n_taxis": args.n_taxis,
+            "quick": args.quick,
+            "trace": args.trace,
+            "experiment": args.experiment,
+        },
+        events_file="events.jsonl",
+    )
+    manifest.write(out_dir)  # crash-safe: the directory identifies itself early
+
+    started = time.perf_counter()
+    summaries: list[dict] = []
+    json_payload: list[dict] = []
+    with EventLog(out_dir / "events.jsonl") as log:
+        tracer = Tracer(sink=log.append, keep_records=False) if args.trace else None
+
+        kinds = {EXPERIMENTS[n][1] for n in names}
+        testbeds = {}
+        for kind in sorted(kinds):
+            if not quiet:
+                print(
+                    f"# building {kind} testbed ({args.n_taxis} taxis, seed {args.seed})..."
+                )
+            build_start = time.perf_counter()
+            testbeds[kind] = exp.build_testbed(
+                n_taxis=args.n_taxis, seed=args.seed, kind=kind
+            )
+            log.append(
+                {
+                    "type": "event",
+                    "span_id": None,
+                    "name": "testbed.built",
+                    "kind": kind,
+                    "n_taxis": args.n_taxis,
+                    "seed": args.seed,
+                    "elapsed_seconds": time.perf_counter() - build_start,
+                }
+            )
+
+        for name in names:
+            result, elapsed = _run_one(name, testbeds, tracer=tracer, quick=args.quick)
+            csv_name = f"{name}.csv"
+            result.save_csv(out_dir / csv_name)
+            manifest.artifacts.append(csv_name)
+            log.append(
+                {
+                    "type": "event",
+                    "span_id": None,
+                    "name": "experiment.end",
+                    "experiment": name,
+                    "elapsed_seconds": elapsed,
+                    "n_rows": len(result.rows),
+                }
+            )
+            summaries.append({"experiment": name, "elapsed_seconds": elapsed})
+            if quiet:
+                json_payload.append(
+                    {
+                        "experiment_id": result.experiment_id,
+                        "description": result.description,
+                        "headers": list(result.headers),
+                        "rows": [list(row) for row in result.rows],
+                        "extras": result.extras,
+                        "elapsed_seconds": elapsed,
+                    }
+                )
+            else:
+                print(result.to_table())
+                if result.extras:
+                    for key, value in sorted(result.extras.items()):
+                        print(f"# {key} = {value}")
+                print(f"# completed in {elapsed:.1f}s\n")
+
+    manifest.wall_clock_seconds = time.perf_counter() - started
+    manifest.write(out_dir)
+
+    if quiet:
+        print(
+            json.dumps(
+                {
+                    "run_id": run_id,
+                    "out_dir": str(out_dir),
+                    "wall_clock_seconds": manifest.wall_clock_seconds,
+                    "experiments": json_payload,
+                },
+                indent=2,
+                default=str,
+            )
+        )
+    else:
+        if len(names) > 1:
+            print("# elapsed per experiment:")
+            for entry in summaries:
+                print(f"#   {entry['experiment']:<20} {entry['elapsed_seconds']:>8.1f}s")
+            print(f"#   {'total':<20} {manifest.wall_clock_seconds:>8.1f}s")
+        print(f"# run artifacts: {out_dir}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    run_dir = args.run_dir
+    if not run_dir.exists():
+        print(f"error: no such run directory: {run_dir}", file=sys.stderr)
+        return 2
+    report = build_report(run_dir)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, default=str))
+    else:
+        print(format_report(report))
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -72,18 +268,9 @@ def main(argv: list[str] | None = None) -> int:
             summary = (driver.__doc__ or "").strip().splitlines()[0]
             print(f"{name:<20} [{kind:>8}]  {summary}")
         return 0
-
-    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    kinds = {EXPERIMENTS[n][1] for n in names}
-    testbeds = {}
-    for kind in sorted(kinds):
-        print(f"# building {kind} testbed ({args.n_taxis} taxis, seed {args.seed})...")
-        testbeds[kind] = exp.build_testbed(
-            n_taxis=args.n_taxis, seed=args.seed, kind=kind
-        )
-    for name in names:
-        _run_one(name, testbeds)
-    return 0
+    if args.command == "report":
+        return _cmd_report(args)
+    return _cmd_run(args)
 
 
 if __name__ == "__main__":

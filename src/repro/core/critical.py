@@ -63,6 +63,8 @@ from collections.abc import Callable
 from .errors import CriticalBidError, InfeasibleInstanceError
 from .fptas import fptas_min_knapsack
 from .greedy import GreedyIteration, greedy_allocation
+from .obshooks import emit as _emit
+from .obshooks import span as _span
 from .types import AuctionInstance, SingleTaskInstance, UserType
 
 __all__ = [
@@ -84,6 +86,7 @@ def critical_contribution_single(
     epsilon: float,
     tolerance: float = DEFAULT_TOLERANCE,
     allocator: WinPredicate | None = None,
+    tracer=None,
 ) -> float:
     """Binary-search the critical contribution of a single-task winner.
 
@@ -96,6 +99,9 @@ def critical_contribution_single(
         allocator: Override for the winner-determination function (maps an
             instance to the winning id set); defaults to the FPTAS.  Used by
             tests to price against the exact optimum.
+        tracer: Optional duck-typed :class:`repro.obs.tracing.Tracer`; when
+            set, every bisection probe is recorded as a ``critical.probe``
+            audit event.
 
     Returns:
         The minimum contribution ``q̄_i`` (within ``tolerance``) at which the
@@ -110,13 +116,16 @@ def critical_contribution_single(
         modified = instance.with_contribution(user_id, contribution)
         try:
             if allocator is not None:
-                return user_id in allocator(modified)
-            return user_id in fptas_min_knapsack(modified, epsilon).selected
+                won = user_id in allocator(modified)
+            else:
+                won = user_id in fptas_min_knapsack(modified, epsilon).selected
         except InfeasibleInstanceError:
             # Lowering a pivotal user's contribution below the point where
             # the task is coverable at all: the auction cannot clear, so she
             # certainly does not win at this declaration.
-            return False
+            won = False
+        _emit(tracer, "critical.probe", user_id=user_id, value=contribution, won=won)
+        return won
 
     declared = instance.contributions[instance.index_of(user_id)]
     if not wins(declared):
@@ -139,7 +148,7 @@ def critical_contribution_single(
 
 
 def critical_contribution_multi(
-    instance: AuctionInstance, user_id: int, method: str = "threshold"
+    instance: AuctionInstance, user_id: int, method: str = "threshold", tracer=None
 ) -> float:
     """Critical total contribution for a multi-task winner.
 
@@ -151,13 +160,28 @@ def critical_contribution_multi(
       docstring).  Restores the strategy-proofness Theorem 4 claims.
     * ``"paper"`` — the literal Algorithm 5 iteration-minimum
       ``min_t (c_i/c_{k_t})·gain_{k_t}``, kept for fidelity.
+
+    ``tracer`` (duck-typed, default off) wraps the rerun in a
+    ``counterfactual`` span and records an ``audit.counterfactual`` event
+    (the reference path replays the full trace, so ``prefix_reused`` is 0).
     """
     if method not in ("threshold", "paper"):
         raise ValueError(f"unknown critical-bid method {method!r}")
     user = instance.user_by_id(user_id)
     counterfactual = instance.without_user(user_id)
-    trace = greedy_allocation(counterfactual, require_feasible=False)
-    return price_from_iterations(user, trace.iterations, trace.satisfied, method)
+    with _span(tracer, "counterfactual", user_id=user_id):
+        trace = greedy_allocation(counterfactual, require_feasible=False)
+        price = price_from_iterations(user, trace.iterations, trace.satisfied, method)
+    _emit(
+        tracer,
+        "audit.counterfactual",
+        user_id=user_id,
+        prefix_reused=0,
+        suffix_iterations=len(trace.iterations),
+        satisfied=trace.satisfied,
+        critical=price,
+    )
+    return price
 
 
 def price_from_iterations(

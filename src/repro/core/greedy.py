@@ -142,7 +142,7 @@ class GreedyTrace:
 
 
 def greedy_allocation(
-    instance: AuctionInstance, require_feasible: bool = True, counters=None
+    instance: AuctionInstance, require_feasible: bool = True, counters=None, tracer=None
 ) -> GreedyTrace:
     """Run Algorithm 4 on a multi-task instance.
 
@@ -156,6 +156,10 @@ def greedy_allocation(
             user.
         counters: Optional :class:`repro.perf.instrumentation.PerfCounters`
             (duck-typed) accumulating ``greedy_iterations``.
+        tracer: Optional :class:`repro.obs.tracing.Tracer` (duck-typed);
+            when set, every selection decision is recorded as a
+            ``greedy.select`` audit event (marginal contribution,
+            cost-effectiveness ratio, residual coverage).
 
     Returns:
         The :class:`GreedyTrace` of the run.
@@ -201,15 +205,27 @@ def greedy_allocation(
                     uncoverable_tasks=uncovered,
                 )
             break
+        snapshot = positive_residual_snapshot(residual, task_ids)
         iterations.append(
             GreedyIteration(
                 user_id=uids[best_row],
-                residual_before=positive_residual_snapshot(residual, task_ids),
+                residual_before=snapshot,
                 gain=float(gains[best_row]),
                 ratio=float(ratios[best_row]),
                 cost=float(costs[best_row]),
             )
         )
+        if tracer is not None:
+            tracer.event(
+                "greedy.select",
+                user_id=uids[best_row],
+                iteration=len(selected),
+                gain=float(gains[best_row]),
+                ratio=float(ratios[best_row]),
+                cost=float(costs[best_row]),
+                residual_open=len(snapshot),
+                residual_total=float(sum(snapshot.values())),
+            )
         selected.append(uids[best_row])
         active[best_row] = False
         residual = np.maximum(0.0, residual - contrib[best_row])

@@ -25,6 +25,8 @@ from typing import Any
 from .critical import critical_contribution_multi
 from .errors import ValidationError
 from .greedy import GreedyTrace, greedy_allocation
+from .obshooks import emit as _emit
+from .obshooks import span as _span
 from .rewards import ECReward, ec_reward
 from .transforms import achieved_pos
 from .types import AuctionInstance
@@ -121,42 +123,79 @@ class MultiTaskMechanism:
         instance: AuctionInstance,
         compute_rewards: bool = True,
         max_workers: int | None = None,
+        tracer=None,
     ) -> MultiTaskOutcome:
         """Run the full auction: allocation plus (optionally) reward contracts.
 
         ``compute_rewards=False`` skips the per-winner counterfactual greedy
         reruns (Algorithm 5); social-cost experiments use it.
         ``max_workers`` opts the fast path into thread fan-out across
-        winners (ignored in ``"reference"`` pricing).
+        winners (ignored in ``"reference"`` pricing).  ``tracer`` (duck-typed
+        :class:`repro.obs.tracing.Tracer`, default off) records the span
+        hierarchy and the auction audit trail: per-iteration selection
+        decisions, per-counterfactual replays, and the final EC contracts.
         """
         # Imported lazily: repro.perf depends on repro.core, not vice versa.
         from repro.perf.instrumentation import PerfCounters
 
         counters = PerfCounters()
         rewards: dict[int, ECReward] = {}
-        if self.pricing == "fast" and compute_rewards:
-            from repro.perf.batch_pricer import BatchPricer
+        with _span(
+            tracer,
+            "mechanism.run",
+            mechanism="multi_task",
+            n_users=instance.n_users,
+            n_tasks=len(instance.tasks),
+            pricing=self.pricing,
+            critical_method=self.critical_method,
+        ):
+            if self.pricing == "fast" and compute_rewards:
+                from repro.perf.batch_pricer import BatchPricer
 
-            with counters.stage("winner_determination"):
-                pricer = BatchPricer(
-                    instance, method=self.critical_method, counters=counters
-                )
-            trace = pricer.trace
-            with counters.stage("reward_determination"):
-                for uid, q_bar in pricer.price_all(max_workers=max_workers).items():
-                    cost = instance.user_by_id(uid).cost
-                    rewards[uid] = ec_reward(uid, q_bar, cost, self.alpha)
-        else:
-            with counters.stage("winner_determination"):
-                trace = greedy_allocation(instance, counters=counters)
-            if compute_rewards:
-                with counters.stage("reward_determination"):
-                    for uid in trace.selected:
-                        q_bar = critical_contribution_multi(
-                            instance, uid, method=self.critical_method
-                        )
+                with counters.stage("winner_determination"), _span(
+                    tracer, "winner_determination", algorithm="greedy"
+                ):
+                    pricer = BatchPricer(
+                        instance,
+                        method=self.critical_method,
+                        counters=counters,
+                        tracer=tracer,
+                    )
+                trace = pricer.trace
+                with counters.stage("reward_determination"), _span(
+                    tracer, "reward_determination", n_winners=len(trace.selected)
+                ):
+                    for uid, q_bar in pricer.price_all(max_workers=max_workers).items():
                         cost = instance.user_by_id(uid).cost
                         rewards[uid] = ec_reward(uid, q_bar, cost, self.alpha)
+            else:
+                with counters.stage("winner_determination"), _span(
+                    tracer, "winner_determination", algorithm="greedy"
+                ):
+                    trace = greedy_allocation(instance, counters=counters, tracer=tracer)
+                if compute_rewards:
+                    with counters.stage("reward_determination"), _span(
+                        tracer, "reward_determination", n_winners=len(trace.selected)
+                    ):
+                        for uid in trace.selected:
+                            q_bar = critical_contribution_multi(
+                                instance, uid, method=self.critical_method, tracer=tracer
+                            )
+                            cost = instance.user_by_id(uid).cost
+                            rewards[uid] = ec_reward(uid, q_bar, cost, self.alpha)
+            for reward in rewards.values():
+                _emit(
+                    tracer,
+                    "audit.reward",
+                    user_id=reward.user_id,
+                    mechanism="multi_task",
+                    critical_contribution=reward.critical_contribution,
+                    critical_pos=reward.critical_pos,
+                    cost=reward.cost,
+                    success_reward=reward.success_reward,
+                    failure_reward=reward.failure_reward,
+                )
+            _emit(tracer, "mechanism.perf", **counters.to_dict())
 
         winners = trace.selected_set
         # One pass over the winners' bundles instead of scanning every user

@@ -1,0 +1,49 @@
+"""Duck-typed observability hooks for the core algorithms.
+
+:mod:`repro.core` must stay importable without :mod:`repro.obs` (the same
+one-way contract as with :mod:`repro.perf`), so the mechanisms accept a
+*tracer* duck-typed through ``tracer=None`` parameters and only ever call
+two methods on it:
+
+* ``tracer.span(name, **attrs)`` — a context manager opening a nested span;
+* ``tracer.event(name, **attrs)`` — a point event under the current span.
+
+These helpers keep the disabled path to a single ``is None`` check (and,
+for :func:`span`, one shared pre-built no-op context manager — no
+per-call allocation), which is what makes default-off tracing free on the
+hot paths.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["span", "emit"]
+
+
+class _ReusableNoop:
+    """A reusable, re-entrant no-op context manager (allocation-free)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NOOP = _ReusableNoop()
+
+
+def span(tracer: Any, name: str, **attrs: Any):
+    """``tracer.span(name, **attrs)`` or a shared no-op context manager."""
+    if tracer is None:
+        return _NOOP
+    return tracer.span(name, **attrs)
+
+
+def emit(tracer: Any, name: str, **attrs: Any) -> None:
+    """``tracer.event(name, **attrs)`` unless tracing is disabled."""
+    if tracer is not None:
+        tracer.event(name, **attrs)

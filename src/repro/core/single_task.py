@@ -22,6 +22,8 @@ from typing import Any
 from .critical import DEFAULT_TOLERANCE, critical_contribution_single
 from .errors import ValidationError
 from .fptas import DEFAULT_EPSILON, FptasResult, fptas_min_knapsack
+from .obshooks import emit as _emit
+from .obshooks import span as _span
 from .rewards import ECReward, ec_reward
 from .transforms import achieved_pos
 from .types import SingleTaskInstance
@@ -103,41 +105,79 @@ class SingleTaskMechanism:
         """Run only the winner-determination stage (Algorithm 2)."""
         return fptas_min_knapsack(instance, self.epsilon)
 
-    def run(self, instance: SingleTaskInstance, compute_rewards: bool = True) -> SingleTaskOutcome:
+    def run(
+        self,
+        instance: SingleTaskInstance,
+        compute_rewards: bool = True,
+        tracer=None,
+    ) -> SingleTaskOutcome:
         """Run the full auction: allocation plus (optionally) reward contracts.
 
         ``compute_rewards=False`` skips the per-winner critical-bid searches,
         which dominate the running time; social-cost experiments use it.
+        ``tracer`` (duck-typed :class:`repro.obs.tracing.Tracer`, default
+        off) records the span hierarchy plus the audit trail: every
+        critical-bid bisection probe and the final EC contracts.
         """
         # Imported lazily: repro.perf depends on repro.core, not vice versa.
         from repro.perf.instrumentation import PerfCounters
 
         counters = PerfCounters()
-        with counters.stage("winner_determination"):
-            allocation = fptas_min_knapsack(instance, self.epsilon, counters=counters)
         rewards: dict[int, ECReward] = {}
-        if compute_rewards:
-            with counters.stage("reward_determination"):
-                if self.pricing == "fast":
-                    from repro.perf.single_pricer import SingleTaskPricer
+        with _span(
+            tracer,
+            "mechanism.run",
+            mechanism="single_task",
+            n_users=instance.n_users,
+            pricing=self.pricing,
+            epsilon=self.epsilon,
+        ):
+            with counters.stage("winner_determination"), _span(
+                tracer, "winner_determination", algorithm="fptas"
+            ):
+                allocation = fptas_min_knapsack(instance, self.epsilon, counters=counters)
+            if compute_rewards:
+                with counters.stage("reward_determination"), _span(
+                    tracer, "reward_determination", n_winners=len(allocation.selected)
+                ):
+                    if self.pricing == "fast":
+                        from repro.perf.single_pricer import SingleTaskPricer
 
-                    pricer = SingleTaskPricer(
-                        instance,
-                        epsilon=self.epsilon,
-                        tolerance=self.tolerance,
-                        counters=counters,
-                    )
-                    criticals = pricer.price_all(allocation.selected)
-                else:
-                    criticals = {
-                        uid: critical_contribution_single(
-                            instance, uid, epsilon=self.epsilon, tolerance=self.tolerance
+                        pricer = SingleTaskPricer(
+                            instance,
+                            epsilon=self.epsilon,
+                            tolerance=self.tolerance,
+                            counters=counters,
+                            tracer=tracer,
                         )
-                        for uid in sorted(allocation.selected)
-                    }
-                for uid, q_bar in criticals.items():
-                    cost = instance.costs[instance.index_of(uid)]
-                    rewards[uid] = ec_reward(uid, q_bar, cost, self.alpha)
+                        criticals = pricer.price_all(allocation.selected)
+                    else:
+                        criticals = {
+                            uid: critical_contribution_single(
+                                instance,
+                                uid,
+                                epsilon=self.epsilon,
+                                tolerance=self.tolerance,
+                                tracer=tracer,
+                            )
+                            for uid in sorted(allocation.selected)
+                        }
+                    for uid, q_bar in criticals.items():
+                        cost = instance.costs[instance.index_of(uid)]
+                        rewards[uid] = ec_reward(uid, q_bar, cost, self.alpha)
+            for reward in rewards.values():
+                _emit(
+                    tracer,
+                    "audit.reward",
+                    user_id=reward.user_id,
+                    mechanism="single_task",
+                    critical_contribution=reward.critical_contribution,
+                    critical_pos=reward.critical_pos,
+                    cost=reward.cost,
+                    success_reward=reward.success_reward,
+                    failure_reward=reward.failure_reward,
+                )
+            _emit(tracer, "mechanism.perf", **counters.to_dict())
         winner_contributions = [
             instance.contributions[instance.index_of(uid)] for uid in allocation.selected
         ]

@@ -1,0 +1,64 @@
+"""Observability layer: tracing, metrics, run manifests, and audit trails.
+
+This package is the answer to "what did this run actually do, and why?" —
+both at the systems level (where did the time go, how much work did the
+fast paths skip) and at the mechanism level (why was user *i* selected and
+paid *r_i*, per Algorithms 2/5 of the paper):
+
+* :class:`Tracer` — hierarchical spans (mechanism run → winner
+  determination → per-iteration selection events → reward determination →
+  per-counterfactual replay) streamed to a JSONL sink.  Core algorithms
+  accept it duck-typed (``tracer=None`` default), exactly like
+  :class:`repro.perf.instrumentation.PerfCounters`, so :mod:`repro.core`
+  never imports this package and the disabled path costs one ``is None``
+  check.
+* :class:`MetricsRegistry` — counters / gauges / histograms.  Absorbs
+  ``PerfCounters`` as one producer and adds mechanism-level metrics
+  (winners, platform cost, achieved PoS, payment spread) and
+  simulation-level metrics (settlement totals, completion rates).
+* :class:`RunManifest` + :class:`EventLog` — every ``python -m repro run``
+  writes a manifest (seed, config, platform, package versions, wall clock)
+  and an append-only JSONL event stream into its run directory.
+* :class:`AuditTrail` / :func:`build_report` — reconstruct per-stage
+  timings, reuse fractions, and human-readable "why user *i* won and was
+  paid *r_i*" explanations from the JSONL log alone
+  (``python -m repro report <run-dir>``).
+
+Dependency direction: ``repro.obs`` imports nothing from ``repro.core``,
+``repro.perf``, or ``repro.simulation`` — it only reads duck-typed
+attributes — so any layer may import it without cycles.
+"""
+
+from .audit import AuditTrail
+from .events import EventLog, read_events
+from .manifest import (
+    MANIFEST_NAME,
+    RunManifest,
+    new_run_id,
+    package_versions,
+    platform_info,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .report import RunReport, build_report, format_report
+from .tracing import NullTracer, Span, Tracer
+
+__all__ = [
+    "AuditTrail",
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MANIFEST_NAME",
+    "MetricsRegistry",
+    "NullTracer",
+    "RunManifest",
+    "RunReport",
+    "Span",
+    "Tracer",
+    "build_report",
+    "format_report",
+    "new_run_id",
+    "package_versions",
+    "platform_info",
+    "read_events",
+]

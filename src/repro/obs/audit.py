@@ -1,0 +1,221 @@
+"""Auction audit trail: typed views over the raw JSONL events.
+
+The mechanisms emit point events through the duck-typed tracer (core never
+imports this package, so the producer side uses string literals matching
+the ``EVENT_*`` constants below):
+
+* ``greedy.select`` — one per Algorithm-4 iteration: who was picked, her
+  capped marginal contribution (``gain``), cost-effectiveness ``ratio``,
+  and the residual coverage still open at that point;
+* ``audit.counterfactual`` — one per priced multi-task user: how the
+  Algorithm-5 rerun without her went (prefix iterations reused, suffix
+  iterations replayed, whether requirements stayed satisfiable) and the
+  resulting critical contribution;
+* ``critical.probe`` — one per Algorithm-3 bisection probe: the probed
+  contribution and the win/lose verdict (plus whether the monotone memo
+  answered it);
+* ``audit.reward`` — one per winner: the final EC contract terms.
+
+:class:`AuditTrail` parses a record stream back into these views and
+renders the human-readable "why user *i* won and was paid *r_i*"
+explanation that ``python -m repro report`` prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = [
+    "EVENT_GREEDY_SELECT",
+    "EVENT_COUNTERFACTUAL",
+    "EVENT_CRITICAL_PROBE",
+    "EVENT_REWARD",
+    "EVENT_MECHANISM_PERF",
+    "GreedySelection",
+    "CounterfactualRecord",
+    "ProbeRecord",
+    "RewardRecord",
+    "AuditTrail",
+]
+
+EVENT_GREEDY_SELECT = "greedy.select"
+EVENT_COUNTERFACTUAL = "audit.counterfactual"
+EVENT_CRITICAL_PROBE = "critical.probe"
+EVENT_REWARD = "audit.reward"
+EVENT_MECHANISM_PERF = "mechanism.perf"
+
+
+@dataclass(frozen=True, slots=True)
+class GreedySelection:
+    """One Algorithm-4 selection decision (from a ``greedy.select`` event)."""
+
+    user_id: int
+    iteration: int
+    gain: float
+    ratio: float
+    cost: float
+    residual_open: int
+    residual_total: float
+
+
+@dataclass(frozen=True, slots=True)
+class CounterfactualRecord:
+    """One Algorithm-5 counterfactual rerun (``audit.counterfactual``)."""
+
+    user_id: int
+    prefix_reused: int
+    suffix_iterations: int
+    satisfied: bool
+    critical: float
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeRecord:
+    """One Algorithm-3 bisection probe (``critical.probe``)."""
+
+    user_id: int
+    value: float
+    won: bool
+    cached: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class RewardRecord:
+    """A winner's final EC contract (``audit.reward``)."""
+
+    user_id: int
+    mechanism: str
+    critical_contribution: float
+    critical_pos: float
+    cost: float
+    success_reward: float
+    failure_reward: float
+
+
+@dataclass
+class AuditTrail:
+    """Typed, per-user view of one run's audit events."""
+
+    selections: list[GreedySelection] = field(default_factory=list)
+    counterfactuals: dict[int, CounterfactualRecord] = field(default_factory=dict)
+    probes: dict[int, list[ProbeRecord]] = field(default_factory=dict)
+    rewards: dict[int, RewardRecord] = field(default_factory=dict)
+
+    @classmethod
+    def from_events(cls, records: Iterable[dict]) -> "AuditTrail":
+        """Build the trail from parsed JSONL records (non-audit ones are skipped)."""
+        trail = cls()
+        for rec in records:
+            if rec.get("type") != "event":
+                continue
+            name = rec.get("name")
+            if name == EVENT_GREEDY_SELECT:
+                trail.selections.append(
+                    GreedySelection(
+                        user_id=rec["user_id"],
+                        iteration=rec["iteration"],
+                        gain=rec["gain"],
+                        ratio=rec["ratio"],
+                        cost=rec["cost"],
+                        residual_open=rec["residual_open"],
+                        residual_total=rec["residual_total"],
+                    )
+                )
+            elif name == EVENT_COUNTERFACTUAL:
+                trail.counterfactuals[rec["user_id"]] = CounterfactualRecord(
+                    user_id=rec["user_id"],
+                    prefix_reused=rec["prefix_reused"],
+                    suffix_iterations=rec["suffix_iterations"],
+                    satisfied=rec["satisfied"],
+                    critical=rec["critical"],
+                )
+            elif name == EVENT_CRITICAL_PROBE:
+                trail.probes.setdefault(rec["user_id"], []).append(
+                    ProbeRecord(
+                        user_id=rec["user_id"],
+                        value=rec["value"],
+                        won=rec["won"],
+                        cached=rec.get("cached", False),
+                    )
+                )
+            elif name == EVENT_REWARD:
+                trail.rewards[rec["user_id"]] = RewardRecord(
+                    user_id=rec["user_id"],
+                    mechanism=rec.get("mechanism", "unknown"),
+                    critical_contribution=rec["critical_contribution"],
+                    critical_pos=rec["critical_pos"],
+                    cost=rec["cost"],
+                    success_reward=rec["success_reward"],
+                    failure_reward=rec["failure_reward"],
+                )
+        return trail
+
+    @property
+    def audited_users(self) -> list[int]:
+        """Users with at least one audit record, ascending."""
+        ids: set[int] = {s.user_id for s in self.selections}
+        ids |= set(self.counterfactuals) | set(self.probes) | set(self.rewards)
+        return sorted(ids)
+
+    def selection_of(self, user_id: int) -> GreedySelection | None:
+        for sel in self.selections:
+            if sel.user_id == user_id:
+                return sel
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Explanations
+    # ------------------------------------------------------------------ #
+
+    def explain(self, user_id: int) -> str:
+        """Human-readable "why user *i* won and was paid *r_i*"."""
+        lines = [f"user {user_id}:"]
+        sel = self.selection_of(user_id)
+        reward = self.rewards.get(user_id)
+        probes = self.probes.get(user_id)
+
+        if sel is not None:
+            lines.append(
+                f"  won in greedy iteration {sel.iteration} (Algorithm 4): capped "
+                f"marginal contribution {sel.gain:.4g} toward the {sel.residual_total:.4g} "
+                f"still required across {sel.residual_open} open task(s), at cost "
+                f"{sel.cost:.4g} — cost-effectiveness ratio {sel.ratio:.4g}, the best "
+                f"among the remaining candidates."
+            )
+        elif probes or (reward is not None and reward.mechanism == "single_task"):
+            lines.append(
+                "  won the FPTAS winner determination (Algorithm 2): part of the "
+                "cheapest (1+ε)-approximate user set covering the requirement."
+            )
+
+        cf = self.counterfactuals.get(user_id)
+        if cf is not None:
+            pivotal = "" if cf.satisfied else " (pivotal: without them the requirements are unmeetable)"
+            lines.append(
+                f"  critical contribution {cf.critical:.6g} (Algorithm 5): the greedy "
+                f"rerun without them reused {cf.prefix_reused} shared-prefix "
+                f"iteration(s) and replayed {cf.suffix_iterations} more{pivotal}; "
+                f"{cf.critical:.6g} is the smallest declaration that still out-ranks "
+                f"some iteration's winner."
+            )
+        if probes:
+            fresh = sum(1 for p in probes if not p.cached)
+            cached = len(probes) - fresh
+            lo = max((p.value for p in probes if not p.won), default=0.0)
+            hi = min((p.value for p in probes if p.won), default=float("nan"))
+            lines.append(
+                f"  critical contribution located by {len(probes)} bisection probe(s) "
+                f"(Algorithm 3; {fresh} fresh, {cached} memoized): win/lose boundary "
+                f"bracketed in [{lo:.6g}, {hi:.6g}]."
+            )
+        if reward is not None:
+            lines.append(
+                f"  EC contract (critical PoS {reward.critical_pos:.4g}): success pays "
+                f"{reward.success_reward:.4g}, failure pays {reward.failure_reward:.4g} "
+                f"(cost {reward.cost:.4g}) — expected utility is maximised by truthful "
+                f"reporting."
+            )
+        if len(lines) == 1:
+            lines.append("  no audit events recorded (run without --trace?).")
+        return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Append-only JSONL event streams (the on-disk half of the tracer).
+
+:class:`EventLog` writes one JSON object per line, flushing after every
+record so a crashed run still leaves a parseable prefix.  Values that the
+stdlib encoder rejects — numpy scalars, sets, paths — are coerced by
+:func:`_json_default`, so producers can pass mechanism outputs verbatim.
+
+:func:`read_events` is the reader used by ``python -m repro report``: it
+returns the parsed records in file order and raises :class:`ValueError`
+with the offending line number on corruption, which the smoke tests use to
+assert stream validity.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = ["EventLog", "read_events"]
+
+
+def _json_default(value: Any):
+    """Coerce common non-JSON types (numpy scalars, sets, paths)."""
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if isinstance(value, Path):
+        return str(value)
+    for attr in ("item",):  # numpy scalars expose .item()
+        item = getattr(value, attr, None)
+        if callable(item):
+            return item()
+    raise TypeError(f"not JSON serializable: {type(value).__name__}")
+
+
+class EventLog:
+    """Append-only JSONL writer; safe to share across threads.
+
+    Usable as a context manager; :meth:`append` is the callable handed to
+    :class:`repro.obs.tracing.Tracer` as its sink
+    (``Tracer(sink=log.append)``).
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def append(self, record: dict) -> None:
+        line = json.dumps(record, default=_json_default, separators=(",", ":"))
+        with self._lock:
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            self._count += 1
+
+    def extend(self, records: Iterable[dict]) -> None:
+        for record in records:
+            self.append(record)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_events(path: str | Path) -> list[dict]:
+    """Parse a JSONL event stream back into records (file order).
+
+    Raises:
+        FileNotFoundError: If the stream does not exist.
+        ValueError: On a malformed line, naming its 1-based line number.
+    """
+    records: list[dict] = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}: malformed JSONL at line {lineno}: {exc}") from exc
+    return records

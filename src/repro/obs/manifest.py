@@ -1,0 +1,130 @@
+"""Run manifests: the provenance record every run directory carries.
+
+A :class:`RunManifest` pins down *what produced this run directory*: the
+command and experiments, the RNG seed and config knobs, the platform and
+package versions, wall-clock, and the artifact files written.  It is
+written **twice**: once at run start (so a crashed run still identifies
+itself) and once at the end with ``wall_clock_seconds`` and the final
+artifact list filled in.
+
+``python -m repro run`` writes one per run directory;
+``benchmarks/conftest.py`` writes one per benchmark session under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import getpass
+import json
+import os
+import platform as _platform
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "MANIFEST_NAME",
+    "RunManifest",
+    "new_run_id",
+    "package_versions",
+    "platform_info",
+]
+
+MANIFEST_NAME = "MANIFEST.json"
+
+#: Packages whose versions matter for reproducing numeric output.
+_TRACKED_PACKAGES = ("numpy", "scipy", "pytest", "hypothesis", "pytest-benchmark")
+
+
+def package_versions(packages: tuple[str, ...] = _TRACKED_PACKAGES) -> dict[str, str]:
+    """Installed versions of the numerically relevant packages."""
+    from importlib import metadata
+
+    versions: dict[str, str] = {}
+    for name in packages:
+        try:
+            versions[name] = metadata.version(name)
+        except metadata.PackageNotFoundError:
+            versions[name] = "not installed"
+    return versions
+
+
+def platform_info() -> dict[str, str]:
+    """Interpreter and host identification for the manifest."""
+    info = {
+        "python": sys.version.split()[0],
+        "implementation": _platform.python_implementation(),
+        "platform": _platform.platform(),
+        "machine": _platform.machine(),
+        "pid": str(os.getpid()),
+    }
+    try:
+        info["user"] = getpass.getuser()
+    except Exception:  # no passwd entry in minimal containers
+        info["user"] = "unknown"
+    return info
+
+
+def new_run_id(label: str) -> str:
+    """A filesystem-safe, time-ordered run id like ``fig5a-20260805-141502``."""
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    safe = "".join(ch if ch.isalnum() or ch in "-_" else "-" for ch in label)
+    return f"{safe}-{stamp}"
+
+
+@dataclass
+class RunManifest:
+    """Provenance record for one run directory (or benchmark session).
+
+    Attributes:
+        run_id: Unique id; also the default run-directory name.
+        command: What produced the run (e.g. ``"run"``, ``"benchmarks"``).
+        experiments: Experiment ids executed, in order.
+        seed: Testbed RNG seed (``None`` when not applicable).
+        config: Free-form config knobs (sizes, flags) for reproduction.
+        platform: Interpreter/host info (:func:`platform_info`).
+        packages: Tracked package versions (:func:`package_versions`).
+        started_at: ISO-8601 UTC start time.
+        wall_clock_seconds: Total run duration (filled at finalisation).
+        events_file: Name of the JSONL event stream within the run dir.
+        artifacts: Files the run wrote (relative to the run dir).
+    """
+
+    run_id: str
+    command: str
+    experiments: list[str] = field(default_factory=list)
+    seed: int | None = None
+    config: dict = field(default_factory=dict)
+    platform: dict = field(default_factory=platform_info)
+    packages: dict = field(default_factory=package_versions)
+    started_at: str = field(
+        default_factory=lambda: time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    )
+    wall_clock_seconds: float | None = None
+    events_file: str | None = None
+    artifacts: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def write(self, run_dir: str | Path) -> Path:
+        """Write (or rewrite) ``MANIFEST.json`` inside ``run_dir``."""
+        run_dir = Path(run_dir)
+        run_dir.mkdir(parents=True, exist_ok=True)
+        path = run_dir / MANIFEST_NAME
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunManifest":
+        known = {f for f in cls.__dataclass_fields__}  # tolerate future fields
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+    @classmethod
+    def load(cls, run_dir: str | Path) -> "RunManifest":
+        """Load the manifest from a run directory (or a direct file path)."""
+        path = Path(run_dir)
+        if path.is_dir():
+            path = path / MANIFEST_NAME
+        return cls.from_dict(json.loads(path.read_text()))

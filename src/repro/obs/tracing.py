@@ -1,0 +1,189 @@
+"""Hierarchical tracer: nested spans plus point events, streamed as records.
+
+A :class:`Tracer` maintains a stack of open :class:`Span` objects.  Opening
+a span (``with tracer.span("winner_determination"):``) emits a
+``span_start`` record, closing it emits ``span_end`` with the elapsed
+wall-clock; :meth:`Tracer.event` emits a point event attached to the
+current span.  Records go to an optional *sink* callable — typically
+:meth:`repro.obs.events.EventLog.append` — and are also kept in memory for
+programmatic inspection.
+
+The mechanisms accept a tracer **duck-typed** with a ``tracer=None``
+default (the same contract as ``PerfCounters``): the disabled path costs a
+single ``is None`` check per call site, so tracing adds no measurable
+overhead unless explicitly enabled.  :class:`NullTracer` exists for call
+sites that prefer passing an object over threading ``None`` checks.
+
+Thread-safety: span/event emission is lock-protected, so the batch
+pricer's opt-in thread fan-out can share one tracer.  Events emitted from
+worker threads attach to whichever span is innermost at emission time
+(in practice the ``reward_determination`` span that owns the fan-out).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["Span", "Tracer", "NullTracer"]
+
+
+@dataclass
+class Span:
+    """One node of the trace tree.
+
+    Attributes:
+        span_id: Unique id within the tracer (1-based, allocation order).
+        parent_id: Enclosing span's id, or ``None`` for a root span.
+        name: Span name (e.g. ``"mechanism.run"``).
+        attrs: Attributes captured at span start.
+        start: ``time.perf_counter()`` at start.
+        end: ``time.perf_counter()`` at end (``None`` while open).
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+    start: float = 0.0
+    end: float | None = None
+
+    @property
+    def seconds(self) -> float | None:
+        return None if self.end is None else self.end - self.start
+
+
+class Tracer:
+    """Hierarchical span/event recorder with an optional streaming sink.
+
+    Args:
+        sink: Callable receiving each record dict as it is emitted (e.g.
+            ``EventLog.append``).  ``None`` keeps records in memory only.
+        keep_records: Whether to retain emitted records in ``self.records``
+            (default ``True``; turn off for very long streaming runs).
+    """
+
+    def __init__(
+        self,
+        sink: Callable[[dict], None] | None = None,
+        keep_records: bool = True,
+    ):
+        self._sink = sink
+        self._keep = keep_records
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._stack: list[Span] = []
+        self.records: list[dict] = []
+        self.spans: list[Span] = []  # closed spans, in close order
+
+    # ------------------------------------------------------------------ #
+    # Emission
+    # ------------------------------------------------------------------ #
+
+    def _emit(self, record: dict) -> None:
+        if self._keep:
+            self.records.append(record)
+        if self._sink is not None:
+            self._sink(record)
+
+    @property
+    def current_span_id(self) -> int | None:
+        return self._stack[-1].span_id if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a nested span; emits ``span_start``/``span_end`` records."""
+        with self._lock:
+            span = Span(
+                span_id=self._next_id,
+                parent_id=self.current_span_id,
+                name=name,
+                attrs=dict(attrs),
+                start=time.perf_counter(),
+            )
+            self._next_id += 1
+            self._stack.append(span)
+            self._emit(
+                {
+                    "type": "span_start",
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "name": name,
+                    **attrs,
+                }
+            )
+        try:
+            yield span
+        finally:
+            with self._lock:
+                span.end = time.perf_counter()
+                # The span may not be on top if worker threads interleave;
+                # remove it wherever it sits.
+                try:
+                    self._stack.remove(span)
+                except ValueError:
+                    pass
+                self.spans.append(span)
+                self._emit(
+                    {
+                        "type": "span_end",
+                        "span_id": span.span_id,
+                        "name": name,
+                        "seconds": span.seconds,
+                    }
+                )
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Emit a point event attached to the innermost open span."""
+        with self._lock:
+            self._emit(
+                {
+                    "type": "event",
+                    "span_id": self.current_span_id,
+                    "name": name,
+                    **attrs,
+                }
+            )
+
+    # ------------------------------------------------------------------ #
+    # Inspection helpers (used by tests and in-process reporting)
+    # ------------------------------------------------------------------ #
+
+    def events(self, name: str | None = None) -> list[dict]:
+        """Point events recorded so far, optionally filtered by name."""
+        out = [r for r in self.records if r["type"] == "event"]
+        if name is not None:
+            out = [r for r in out if r["name"] == name]
+        return out
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Total seconds per span name over all closed spans."""
+        totals: dict[str, float] = {}
+        for span in self.spans:
+            if span.seconds is not None:
+                totals[span.name] = totals.get(span.name, 0.0) + span.seconds
+        return totals
+
+
+class NullTracer:
+    """A tracer whose every operation is a no-op.
+
+    Call sites inside :mod:`repro.core` take ``tracer=None`` and guard with
+    ``is None`` (zero allocation); this class is for *callers* who want to
+    hold a tracer-shaped object unconditionally.
+    """
+
+    __slots__ = ()
+
+    def span(self, name: str, **attrs: Any):
+        return nullcontext()
+
+    def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+    @property
+    def current_span_id(self) -> None:
+        return None

@@ -53,6 +53,8 @@ from repro.core.greedy import (
     positive_residual_snapshot,
     select_best_row,
 )
+from repro.core.obshooks import emit as _emit
+from repro.core.obshooks import span as _span
 from repro.core.types import AuctionInstance
 
 from .instrumentation import PerfCounters
@@ -108,6 +110,13 @@ class BatchPricer:
             created otherwise (exposed as ``.counters``).
         require_feasible: Passed to the master greedy run; ``True`` raises
             :class:`InfeasibleInstanceError` when requirements cannot be met.
+        tracer: Optional duck-typed :class:`repro.obs.tracing.Tracer`.  The
+            master run records ``greedy.select`` audit events; each
+            :meth:`price` call records a ``counterfactual`` span and an
+            ``audit.counterfactual`` event (prefix reused, suffix replayed,
+            resulting critical bid).  Replay-internal iterations are *not*
+            traced per-decision — they are summarised by the event — so
+            audit mode stays usable at benchmark sizes.
     """
 
     def __init__(
@@ -116,12 +125,14 @@ class BatchPricer:
         method: str = "threshold",
         counters: PerfCounters | None = None,
         require_feasible: bool = True,
+        tracer=None,
     ):
         if method not in ("threshold", "paper"):
             raise ValidationError(f"unknown critical-bid method {method!r}")
         self.instance = instance
         self.method = method
         self.counters = counters if counters is not None else PerfCounters()
+        self.tracer = tracer
 
         # Shared arrays, built once — mirrors greedy_allocation's layout.
         self._task_ids = [t.task_id for t in instance.tasks]
@@ -180,15 +191,27 @@ class BatchPricer:
             # The snapshot keeps the exact ratios too: they seed the lazy
             # replay's upper-bound heap without any recomputation.
             snapshots.append((residual.copy(), rows, ratios))
+            snapshot = positive_residual_snapshot(residual, self._task_ids)
             iterations.append(
                 GreedyIteration(
                     user_id=self._uids[best_row],
-                    residual_before=positive_residual_snapshot(residual, self._task_ids),
+                    residual_before=snapshot,
                     gain=float(gains[local]),
                     ratio=float(ratios[local]),
                     cost=float(self._costs[best_row]),
                 )
             )
+            if self.tracer is not None:
+                self.tracer.event(
+                    "greedy.select",
+                    user_id=self._uids[best_row],
+                    iteration=len(selected_rows),
+                    gain=float(gains[local]),
+                    ratio=float(ratios[local]),
+                    cost=float(self._costs[best_row]),
+                    residual_open=len(snapshot),
+                    residual_total=float(sum(snapshot.values())),
+                )
             selected_rows.append(best_row)
             rows = np.delete(rows, local)
             residual = np.maximum(0.0, residual - self._contrib[best_row])
@@ -312,21 +335,34 @@ class BatchPricer:
         """
         counters = counters if counters is not None else self.counters
         user = self.instance.user_by_id(user_id)
-        if user_id in self._position:
-            start = self._position[user_id]
-            suffix, satisfied = self._replay_without(
-                start, self._row_of[user_id], counters
-            )
-            iterations = self.trace.iterations[:start] + suffix
-            counters.greedy_prefix_iterations_reused += start
-        else:
-            # A never-selected user cannot change any iteration: the
-            # counterfactual trace is the original trace verbatim.
-            iterations = self.trace.iterations
-            satisfied = self.trace.satisfied
-            counters.greedy_prefix_iterations_reused += len(iterations)
-        counters.counterfactual_runs += 1
-        return price_from_iterations(user, iterations, satisfied, self.method)
+        with _span(self.tracer, "counterfactual", user_id=user_id):
+            if user_id in self._position:
+                start = self._position[user_id]
+                suffix, satisfied = self._replay_without(
+                    start, self._row_of[user_id], counters
+                )
+                iterations = self.trace.iterations[:start] + suffix
+                counters.greedy_prefix_iterations_reused += start
+                prefix_reused, suffix_len = start, len(suffix)
+            else:
+                # A never-selected user cannot change any iteration: the
+                # counterfactual trace is the original trace verbatim.
+                iterations = self.trace.iterations
+                satisfied = self.trace.satisfied
+                counters.greedy_prefix_iterations_reused += len(iterations)
+                prefix_reused, suffix_len = len(iterations), 0
+            counters.counterfactual_runs += 1
+            price = price_from_iterations(user, iterations, satisfied, self.method)
+        _emit(
+            self.tracer,
+            "audit.counterfactual",
+            user_id=user_id,
+            prefix_reused=prefix_reused,
+            suffix_iterations=suffix_len,
+            satisfied=satisfied,
+            critical=price,
+        )
+        return price
 
     def price_all(self, max_workers: int | None = None) -> dict[int, float]:
         """Critical bids for every winner, in selection order.

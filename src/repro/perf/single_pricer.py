@@ -68,6 +68,10 @@ class SingleTaskPricer:
         tolerance: Absolute stopping tolerance of the binary search.
         counters: Optional shared :class:`PerfCounters`.
         snapshot_cells: Memory budget (in DP cells) for prefix snapshots.
+        tracer: Optional duck-typed :class:`repro.obs.tracing.Tracer`; when
+            set, every ``wins(q)`` probe is recorded as a ``critical.probe``
+            audit event (with ``cached=True`` when the monotone memo
+            answered it without an FPTAS run).
 
     Unlike the reference function this pricer always prices against the
     FPTAS (no ``allocator`` override); use the reference for custom
@@ -81,6 +85,7 @@ class SingleTaskPricer:
         tolerance: float = DEFAULT_TOLERANCE,
         counters: PerfCounters | None = None,
         snapshot_cells: int = DEFAULT_SNAPSHOT_CELLS,
+        tracer=None,
     ):
         if epsilon <= 0 or not math.isfinite(epsilon):
             raise ValidationError(f"epsilon must be positive and finite, got {epsilon!r}")
@@ -88,6 +93,7 @@ class SingleTaskPricer:
         self.epsilon = float(epsilon)
         self.tolerance = tolerance
         self.counters = counters if counters is not None else PerfCounters()
+        self.tracer = tracer
 
         n = instance.n_users
         self._n = n
@@ -254,9 +260,11 @@ class SingleTaskPricer:
         self.counters.wins_evaluations += 1
         if contribution >= self._win_bound:
             self.counters.wins_cache_hits += 1
+            self._trace_probe(user_id, contribution, won=True, cached=True)
             return True
         if contribution <= self._loss_bound:
             self.counters.wins_cache_hits += 1
+            self._trace_probe(user_id, contribution, won=False, cached=True)
             return False
         selected = self._allocate(rank, contribution)
         won = selected is not None and user_id in selected
@@ -264,7 +272,20 @@ class SingleTaskPricer:
             self._win_bound = min(self._win_bound, contribution)
         else:
             self._loss_bound = max(self._loss_bound, contribution)
+        self._trace_probe(user_id, contribution, won=won, cached=False)
         return won
+
+    def _trace_probe(
+        self, user_id: int, contribution: float, won: bool, cached: bool
+    ) -> None:
+        if self.tracer is not None:
+            self.tracer.event(
+                "critical.probe",
+                user_id=user_id,
+                value=float(contribution),
+                won=won,
+                cached=cached,
+            )
 
     def critical(self, user_id: int) -> float:
         """Critical contribution of ``user_id``; mirrors

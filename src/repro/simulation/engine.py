@@ -62,10 +62,24 @@ class ExecutionResult:
 
 
 class ExecutionSimulator:
-    """Seeded Bernoulli execution of cleared auctions."""
+    """Seeded Bernoulli execution of cleared auctions.
 
-    def __init__(self, seed: int = 0):
+    Args:
+        seed: RNG seed for the Bernoulli attempt draws.
+        metrics: Optional duck-typed
+            :class:`repro.obs.metrics.MetricsRegistry`; when set, every
+            simulated execution is folded in via ``observe_execution``
+            (settlement totals, completion rates, realised utilities).
+    """
+
+    def __init__(self, seed: int = 0, metrics=None):
         self._rng = np.random.default_rng(seed)
+        self.metrics = metrics
+
+    def _observe(self, result: ExecutionResult) -> ExecutionResult:
+        if self.metrics is not None:
+            self.metrics.observe_execution(result)
+        return result
 
     def simulate_single(
         self, instance: SingleTaskInstance, outcome: SingleTaskOutcome, task_id: int = 0
@@ -86,12 +100,14 @@ class ExecutionSimulator:
                 contract = outcome.rewards[uid]
                 rewards_paid[uid] = contract.realized(success)
                 utilities[uid] = contract.realized_utility(success)
-        return ExecutionResult(
-            user_success=user_success,
-            task_completed={task_id: any(user_success.values())},
-            rewards_paid=rewards_paid,
-            utilities=utilities,
-            platform_spend=sum(rewards_paid.values()),
+        return self._observe(
+            ExecutionResult(
+                user_success=user_success,
+                task_completed={task_id: any(user_success.values())},
+                rewards_paid=rewards_paid,
+                utilities=utilities,
+                platform_spend=sum(rewards_paid.values()),
+            )
         )
 
     def simulate_multi(
@@ -123,13 +139,15 @@ class ExecutionSimulator:
                 contract = outcome.rewards[uid]
                 rewards_paid[uid] = contract.realized(succeeded_any)
                 utilities[uid] = contract.realized_utility(succeeded_any)
-        return ExecutionResult(
-            user_success=user_success,
-            task_completed=task_completed,
-            rewards_paid=rewards_paid,
-            utilities=utilities,
-            platform_spend=sum(rewards_paid.values()),
-            attempts=attempts,
+        return self._observe(
+            ExecutionResult(
+                user_success=user_success,
+                task_completed=task_completed,
+                rewards_paid=rewards_paid,
+                utilities=utilities,
+                platform_spend=sum(rewards_paid.values()),
+                attempts=attempts,
+            )
         )
 
 

@@ -43,6 +43,7 @@ from ..core.baselines import (
 )
 from ..core.fptas import fptas_min_knapsack
 from ..core.multi_task import MultiTaskMechanism
+from ..core.obshooks import span as _span
 from ..core.rewards import expected_utility_multi, expected_utility_single
 from ..core.single_task import SingleTaskMechanism
 from ..core.submodular import gamma_parameter, greedy_approximation_bound
@@ -238,6 +239,7 @@ def run_fig5a(
     n_users_list: Sequence[int] = tuple(range(20, 101, 10)),
     epsilon: float = 0.5,
     repeats: int = 3,
+    tracer=None,
 ) -> ExperimentResult:
     """Figure 5(a): single-task social cost vs #users — FPTAS / OPT / Min-Greedy."""
     tb = testbed or default_testbed()
@@ -247,7 +249,10 @@ def run_fig5a(
         for rep in range(repeats):
             generated = tb.generator.single_task_instance(n, seed=1000 * rep + n)
             instance = generated.instance
-            fptas_costs.append(fptas_min_knapsack(instance, epsilon).total_cost)
+            with _span(
+                tracer, "winner_determination", algorithm="fptas", n_users=n, rep=rep
+            ):
+                fptas_costs.append(fptas_min_knapsack(instance, epsilon).total_cost)
             opt_costs.append(optimal_single_task(instance).total_cost)
             greedy_costs.append(min_greedy_single_task(instance).total_cost)
         rows.append(
@@ -272,6 +277,7 @@ def run_fig5b(
     n_users_list: Sequence[int] = tuple(range(10, 101, 10)),
     n_tasks: int = 15,
     repeats: int = 3,
+    tracer=None,
 ) -> ExperimentResult:
     """Figure 5(b): multi-task social cost vs #users (Table III setting 1)."""
     tb = testbed or default_testbed()
@@ -281,7 +287,9 @@ def run_fig5b(
         greedy_costs, opt_costs = [], []
         for rep in range(repeats):
             generated = tb.generator.multi_task_instance(n, n_tasks, seed=2000 * rep + n)
-            outcome = mechanism.run(generated.instance, compute_rewards=False)
+            outcome = mechanism.run(
+                generated.instance, compute_rewards=False, tracer=tracer
+            )
             greedy_costs.append(outcome.social_cost)
             opt_costs.append(optimal_multi_task(generated.instance).total_cost)
         rows.append((n, float(np.mean(greedy_costs)), float(np.mean(opt_costs))))
@@ -299,6 +307,7 @@ def run_fig5c(
     n_tasks_list: Sequence[int] = tuple(range(10, 51, 5)),
     n_users: int = 30,
     repeats: int = 3,
+    tracer=None,
 ) -> ExperimentResult:
     """Figure 5(c): multi-task social cost vs #tasks (Table III setting 2)."""
     tb = testbed or default_testbed()
@@ -308,7 +317,9 @@ def run_fig5c(
         greedy_costs, opt_costs = [], []
         for rep in range(repeats):
             generated = tb.generator.multi_task_instance(n_users, t, seed=3000 * rep + t)
-            outcome = mechanism.run(generated.instance, compute_rewards=False)
+            outcome = mechanism.run(
+                generated.instance, compute_rewards=False, tracer=tracer
+            )
             greedy_costs.append(outcome.social_cost)
             opt_costs.append(optimal_multi_task(generated.instance).total_cost)
         rows.append((t, float(np.mean(greedy_costs)), float(np.mean(opt_costs))))
@@ -333,6 +344,7 @@ def run_fig6(
     single_task_users: int = 40,
     multi_task_users: int = 60,
     multi_task_tasks: int = 30,
+    tracer=None,
 ) -> ExperimentResult:
     """Figure 6: empirical CDF of winners' expected utilities, both settings.
 
@@ -345,7 +357,7 @@ def run_fig6(
     single_utilities: list[float] = []
     for rep in range(single_task_runs):
         generated = tb.generator.single_task_instance(single_task_users, seed=4000 + rep)
-        outcome = single_mech.run(generated.instance)
+        outcome = single_mech.run(generated.instance, tracer=tracer)
         for uid in outcome.winners:
             true_pos = contribution_to_pos(
                 generated.instance.contributions[generated.instance.index_of(uid)]
@@ -360,7 +372,7 @@ def run_fig6(
     generated = tb.generator.multi_task_instance(
         multi_task_users, multi_task_tasks, seed=4500
     )
-    outcome = multi_mech.run(generated.instance)
+    outcome = multi_mech.run(generated.instance, tracer=tracer)
     multi_utilities = [
         expected_utility_multi(
             generated.instance.user_by_id(uid).total_contribution(),
@@ -402,6 +414,7 @@ def run_fig7(
     n_users: int = 60,
     n_tasks: int = 30,
     repeats: int = 3,
+    tracer=None,
 ) -> ExperimentResult:
     """Figure 7: achieved task PoS — our mechanisms vs ST-VCG / MT-VCG.
 
@@ -433,7 +446,7 @@ def run_fig7(
         gen_m = tb.generator.multi_task_instance(
             n_users, n_tasks, requirement=requirement, seed=5100 + rep
         )
-        outcome = mechanism.run(gen_m.instance, compute_rewards=False)
+        outcome = mechanism.run(gen_m.instance, compute_rewards=False, tracer=tracer)
         multi_ours.append(outcome.average_achieved_pos())
         vcg_m = mt_vcg(gen_m.instance)
         per_task = []
@@ -472,6 +485,7 @@ def _requirement_sweep(
     n_users: int,
     n_tasks: int,
     repeats: int,
+    tracer=None,
 ) -> list[tuple[float, float, float, float, float]]:
     """(T, #selected single, #selected multi, cost single, cost multi) rows."""
     mechanism = MultiTaskMechanism()
@@ -489,7 +503,7 @@ def _requirement_sweep(
             gen_m = tb.generator.multi_task_instance(
                 n_users, n_tasks, requirement=T, seed=6100 + rep
             )
-            outcome = mechanism.run(gen_m.instance, compute_rewards=False)
+            outcome = mechanism.run(gen_m.instance, compute_rewards=False, tracer=tracer)
             sel_m.append(len(outcome.winners))
             cost_m.append(outcome.social_cost)
         rows.append(
@@ -510,10 +524,11 @@ def run_fig8(
     n_users: int = 100,
     n_tasks: int = 50,
     repeats: int = 2,
+    tracer=None,
 ) -> ExperimentResult:
     """Figure 8: number of selected users vs PoS requirement T ∈ [0.5, 0.9]."""
     tb = testbed or default_testbed()
-    sweep = _requirement_sweep(tb, requirements, n_users, n_tasks, repeats)
+    sweep = _requirement_sweep(tb, requirements, n_users, n_tasks, repeats, tracer=tracer)
     rows = tuple((T, s, m) for T, s, m, _, _ in sweep)
     return ExperimentResult(
         experiment_id="fig8",
@@ -530,10 +545,11 @@ def run_fig9(
     n_users: int = 100,
     n_tasks: int = 50,
     repeats: int = 2,
+    tracer=None,
 ) -> ExperimentResult:
     """Figure 9: social cost vs PoS requirement T ∈ [0.5, 0.9]."""
     tb = testbed or default_testbed()
-    sweep = _requirement_sweep(tb, requirements, n_users, n_tasks, repeats)
+    sweep = _requirement_sweep(tb, requirements, n_users, n_tasks, repeats, tracer=tracer)
     rows = tuple((T, cs, cm) for T, _, _, cs, cm in sweep)
     return ExperimentResult(
         experiment_id="fig9",

@@ -1,0 +1,87 @@
+"""CLI observability smoke tests (tier-1): run --json writes valid artifacts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs import RunManifest, read_events
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(scope="module")
+def fig5a_run(tmp_path_factory):
+    out_dir = tmp_path_factory.mktemp("run") / "fig5a"
+    code = main(
+        [
+            "run",
+            "fig5a",
+            "--json",
+            "--quick",
+            "--trace",
+            "--n-taxis",
+            "60",
+            "--out-dir",
+            str(out_dir),
+        ]
+    )
+    return code, out_dir
+
+
+def test_run_json_writes_valid_manifest_and_jsonl(fig5a_run, capsys):
+    code, out_dir = fig5a_run
+    assert code == 0
+
+    manifest = RunManifest.load(out_dir)
+    assert manifest.command == "run"
+    assert manifest.experiments == ["fig5a"]
+    assert manifest.seed == 42
+    assert manifest.config["quick"] is True
+    assert manifest.wall_clock_seconds is not None and manifest.wall_clock_seconds > 0
+    assert "fig5a.csv" in manifest.artifacts
+    assert (out_dir / "fig5a.csv").exists()
+
+    records = read_events(out_dir / manifest.events_file)  # parseable throughout
+    names = {r.get("name") for r in records}
+    assert "testbed.built" in names
+    assert "experiment.end" in names
+    assert "winner_determination" in {
+        r.get("name") for r in records if r.get("type") == "span_start"
+    }
+
+
+def test_run_json_stdout_is_one_json_document(capsys, tmp_path):
+    out_dir = tmp_path / "fig4run"
+    assert (
+        main(["run", "fig4", "--json", "--quick", "--n-taxis", "60", "--out-dir", str(out_dir)])
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["out_dir"] == str(out_dir)
+    (experiment,) = payload["experiments"]
+    assert experiment["experiment_id"] == "fig4"
+    assert experiment["headers"] == ["pos_bin_center", "density"]
+    assert experiment["rows"] and experiment["elapsed_seconds"] >= 0
+
+
+def test_report_reconstructs_run(fig5a_run, capsys):
+    code, out_dir = fig5a_run
+    assert code == 0
+    assert main(["report", str(out_dir)]) == 0
+    text = capsys.readouterr().out
+    assert "experiments:" in text
+    assert "fig5a" in text
+    assert "stage timings" in text
+
+    assert main(["report", str(out_dir), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["manifest"]["run_id"].startswith("fig5a-")
+    assert payload["stage_seconds"]["winner_determination"] > 0
+
+
+def test_report_missing_directory_fails_cleanly(tmp_path, capsys):
+    assert main(["report", str(tmp_path / "nope")]) == 2
+    assert "no such run directory" in capsys.readouterr().err

@@ -1,0 +1,114 @@
+"""Tests for run manifests and the JSONL event stream."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    MANIFEST_NAME,
+    EventLog,
+    RunManifest,
+    Tracer,
+    new_run_id,
+    package_versions,
+    platform_info,
+    read_events,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestEventLog:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.append({"type": "event", "name": "a", "x": 1})
+            log.append({"type": "event", "name": "b", "x": 2})
+            assert log.count == 2
+        records = read_events(path)
+        assert [r["name"] for r in records] == ["a", "b"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "events.jsonl"
+        with EventLog(path) as log:
+            log.append({"ok": True})
+        assert read_events(path) == [{"ok": True}]
+
+    def test_coerces_numpy_sets_and_paths(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.append(
+                {
+                    "n": np.int64(7),
+                    "f": np.float64(0.5),
+                    "winners": frozenset({3, 1, 2}),
+                    "where": tmp_path,
+                }
+            )
+        (rec,) = read_events(path)
+        assert rec["n"] == 7 and rec["f"] == 0.5
+        assert rec["winners"] == [1, 2, 3]
+        assert rec["where"] == str(tmp_path)
+
+    def test_malformed_line_names_line_number(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"ok": 1}\nnot json at all\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_events(path)
+
+    def test_tracer_streams_into_log(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            tracer = Tracer(sink=log.append, keep_records=False)
+            with tracer.span("mechanism.run"):
+                tracer.event("greedy.select", user_id=1)
+        kinds = [r["type"] for r in read_events(path)]
+        assert kinds == ["span_start", "event", "span_end"]
+
+
+class TestManifest:
+    def test_write_and_load_roundtrip(self, tmp_path):
+        manifest = RunManifest(
+            run_id="demo-1",
+            command="run",
+            experiments=["fig5a"],
+            seed=42,
+            config={"n_taxis": 60},
+            events_file="events.jsonl",
+        )
+        path = manifest.write(tmp_path)
+        assert path.name == MANIFEST_NAME
+        loaded = RunManifest.load(tmp_path)
+        assert loaded.run_id == "demo-1"
+        assert loaded.seed == 42
+        assert loaded.config == {"n_taxis": 60}
+        # Also loadable via the direct file path.
+        assert RunManifest.load(path).run_id == "demo-1"
+
+    def test_from_dict_tolerates_unknown_fields(self, tmp_path):
+        manifest = RunManifest(run_id="demo-2", command="run")
+        payload = manifest.to_dict()
+        payload["added_in_the_future"] = {"x": 1}
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(payload))
+        assert RunManifest.load(tmp_path).run_id == "demo-2"
+
+    def test_manifest_is_valid_json_with_provenance(self, tmp_path):
+        RunManifest(run_id="demo-3", command="benchmarks").write(tmp_path)
+        payload = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        assert payload["platform"]["python"]
+        assert "numpy" in payload["packages"]
+        assert payload["started_at"].endswith("Z")
+
+    def test_new_run_id_is_filesystem_safe(self):
+        run_id = new_run_id("fig5a weird/label!")
+        assert "/" not in run_id and " " not in run_id and "!" not in run_id
+        assert run_id.startswith("fig5a-weird-label-")
+
+    def test_package_versions_and_platform_info(self):
+        versions = package_versions()
+        assert versions["numpy"] != "not installed"
+        info = platform_info()
+        assert info["python"] and info["machine"]

@@ -1,0 +1,106 @@
+"""Tests for the hierarchical tracer (spans, events, null paths)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.obshooks import emit, span
+from repro.obs import NullTracer, Tracer
+
+pytestmark = pytest.mark.obs
+
+
+class TestSpans:
+    def test_nested_spans_record_parenthood(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # Closed innermost-first.
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+    def test_span_records_elapsed_seconds(self):
+        tracer = Tracer()
+        with tracer.span("timed"):
+            pass
+        (span_obj,) = tracer.spans
+        assert span_obj.seconds is not None and span_obj.seconds >= 0.0
+        end = [r for r in tracer.records if r["type"] == "span_end"]
+        assert end[0]["seconds"] == span_obj.seconds
+
+    def test_event_attaches_to_innermost_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner") as inner:
+                tracer.event("hello", value=3)
+        (event,) = tracer.events("hello")
+        assert event["span_id"] == inner.span_id
+        assert event["value"] == 3
+
+    def test_event_without_open_span(self):
+        tracer = Tracer()
+        tracer.event("orphan")
+        assert tracer.events("orphan")[0]["span_id"] is None
+
+    def test_stage_seconds_aggregates_by_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("phase"):
+                pass
+        totals = tracer.stage_seconds()
+        assert set(totals) == {"phase"}
+        assert totals["phase"] >= 0.0
+
+    def test_sink_receives_every_record(self):
+        seen: list[dict] = []
+        tracer = Tracer(sink=seen.append, keep_records=False)
+        with tracer.span("s"):
+            tracer.event("e")
+        assert [r["type"] for r in seen] == ["span_start", "event", "span_end"]
+        assert tracer.records == []  # keep_records=False
+
+    def test_span_closes_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        assert tracer.spans[0].end is not None
+        assert tracer.current_span_id is None
+
+    def test_thread_safety_of_events(self):
+        tracer = Tracer()
+
+        def emit_many(k: int):
+            for i in range(50):
+                tracer.event("worker", worker=k, i=i)
+
+        threads = [threading.Thread(target=emit_many, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tracer.events("worker")) == 200
+
+
+class TestDisabledPaths:
+    def test_null_tracer_is_inert(self):
+        tracer = NullTracer()
+        with tracer.span("anything", attr=1):
+            tracer.event("ignored")
+        assert tracer.current_span_id is None
+
+    def test_obshooks_with_none_tracer(self):
+        # The guard the core call sites rely on: no tracer, no work, no error.
+        with span(None, "stage", attr=1):
+            emit(None, "event", value=2)
+
+    def test_obshooks_delegate_to_real_tracer(self):
+        tracer = Tracer()
+        with span(tracer, "stage"):
+            emit(tracer, "event", value=2)
+        assert [s.name for s in tracer.spans] == ["stage"]
+        assert tracer.events("event")[0]["value"] == 2

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import time
 
+from repro.perf.batch_pricer import BatchPricer
 from repro.perf.instrumentation import PerfCounters
 
 
@@ -62,6 +63,61 @@ def test_merge_sums_counters_and_stages():
     assert a.wins_cache_hits == 2
     assert a.stage_seconds["s"] == 1.5
     assert a.stage_seconds["t"] == 2.0
+
+
+def _int_fields(counters: PerfCounters) -> dict[str, int]:
+    return {k: v for k, v in counters.to_dict().items() if k != "stage_seconds"}
+
+
+def test_merge_under_thread_fanout_matches_sequential():
+    """BatchPricer's worker-counter merge: fan-out totals == sequential totals."""
+    from benchmarks.bench_pricing import make_winners_heavy_multi
+
+    instance = make_winners_heavy_multi(n_users=40, n_tasks=8, seed=11)
+
+    seq = BatchPricer(instance, require_feasible=False)
+    seq_prices = seq.price_all()
+    par = BatchPricer(instance, require_feasible=False)
+    par_prices = par.price_all(max_workers=4)
+
+    assert par_prices == seq_prices
+    assert _int_fields(par.counters) == _int_fields(seq.counters)
+    assert par.counters.counterfactual_runs == len(par.trace.selected)
+
+
+def test_merge_equals_sum_of_per_worker_counters():
+    """Explicit fan-out bookkeeping: merged == Σ per-worker counters."""
+    from benchmarks.bench_pricing import make_winners_heavy_multi
+
+    instance = make_winners_heavy_multi(n_users=30, n_tasks=6, seed=7)
+    pricer = BatchPricer(instance, require_feasible=False)
+    master = _int_fields(pricer.counters)  # construction ran the master greedy
+
+    workers = [PerfCounters() for _ in pricer.trace.selected]
+    for uid, wc in zip(pricer.trace.selected, workers):
+        with wc.stage("reward_determination"):
+            pricer.price(uid, counters=wc)
+
+    merged = PerfCounters()
+    for wc in workers:
+        merged.merge(wc)
+
+    for field_name, total in _int_fields(merged).items():
+        assert total == sum(_int_fields(wc)[field_name] for wc in workers)
+    # Stage timers accumulate across merges (one re-entry per worker).
+    assert merged.stage_seconds["reward_determination"] > 0.0
+    assert merged.stage_seconds["reward_determination"] == sum(
+        wc.stage_seconds["reward_determination"] for wc in workers
+    )
+
+    # And merging into the shared counters reproduces the fan-out totals:
+    # master work + Σ workers == what price_all(max_workers=k) reports.
+    reference = BatchPricer(instance, require_feasible=False)
+    reference.price_all(max_workers=3)
+    combined = {
+        key: master[key] + value for key, value in _int_fields(merged).items()
+    }
+    assert combined == _int_fields(reference.counters)
 
 
 def test_to_dict_round_trips_every_field():

@@ -1,0 +1,102 @@
+"""Tests for benchmarks/compare_bench.py (speedup regression diffing)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.compare_bench import (
+    Comparison,
+    compare,
+    format_comparison,
+    load_records,
+    main,
+)
+
+
+def dump(records: dict) -> dict:
+    return {"records": records}
+
+
+OLD = {
+    "multi_task_reward_determination_n500": {"speedup": 8.6},
+    "single_task_critical_pricing_n100": {"speedup": 3.1},
+    "dropped_bench_n10": {"speedup": 2.0},
+}
+NEW_OK = {
+    "multi_task_reward_determination_n500": {"speedup": 8.0},  # 93% of old
+    "single_task_critical_pricing_n100": {"speedup": 3.3},  # improved
+    "added_bench_n20": {"speedup": 4.0},
+}
+NEW_BAD = {
+    "multi_task_reward_determination_n500": {"speedup": 4.0},  # 47% of old
+    "single_task_critical_pricing_n100": {"speedup": 3.1},
+}
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        comparisons, only_old, only_new = compare(OLD, NEW_OK, tolerance=0.8)
+        assert not any(c.regressed for c in comparisons)
+        assert only_old == ["dropped_bench_n10"]
+        assert only_new == ["added_bench_n20"]
+
+    def test_regression_flagged(self):
+        comparisons, _, _ = compare(OLD, NEW_BAD, tolerance=0.8)
+        flagged = {c.key: c.regressed for c in comparisons}
+        assert flagged["multi_task_reward_determination_n500"] is True
+        assert flagged["single_task_critical_pricing_n100"] is False
+
+    def test_exact_tolerance_boundary_is_not_a_regression(self):
+        c = Comparison(key="k", old_speedup=10.0, new_speedup=8.0, tolerance=0.8)
+        assert not c.regressed
+        assert c.ratio == pytest.approx(0.8)
+
+    def test_invalid_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare(OLD, NEW_OK, tolerance=0.0)
+
+    def test_format_mentions_verdicts(self):
+        comparisons, only_old, only_new = compare(OLD, NEW_BAD)
+        text = format_comparison(comparisons, only_old, only_new)
+        assert "REGRESSED" in text and "ok" in text
+        assert "only in OLD" in text
+
+
+class TestLoadAndMain:
+    def test_load_records_rejects_non_dump(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"not_records": 1}))
+        with pytest.raises(ValueError, match="records"):
+            load_records(path)
+
+    def _write(self, tmp_path, name, records):
+        path = tmp_path / name
+        path.write_text(json.dumps(dump(records)))
+        return str(path)
+
+    def test_main_exit_zero_when_ok(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", OLD)
+        new = self._write(tmp_path, "new.json", NEW_OK)
+        assert main([old, new]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_main_exit_one_on_regression(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", OLD)
+        new = self._write(tmp_path, "new.json", NEW_BAD)
+        assert main([old, new]) == 1
+        assert "regression(s)" in capsys.readouterr().out
+
+    def test_main_tolerance_flag(self, tmp_path):
+        old = self._write(tmp_path, "old.json", OLD)
+        new = self._write(tmp_path, "new.json", NEW_BAD)
+        # 4.0 / 8.6 ≈ 0.465: passes with a loose enough tolerance.
+        assert main([old, new, "--tolerance", "0.4"]) == 0
+
+    def test_checked_in_dump_compares_clean_against_itself(self):
+        from benchmarks.bench_pricing import BENCH_PATH
+
+        records = load_records(BENCH_PATH)
+        comparisons, _, _ = compare(records, records)
+        assert comparisons and not any(c.regressed for c in comparisons)
