@@ -5,35 +5,43 @@ Usage::
     python -m repro list
     python -m repro run fig5a
     python -m repro run fig3 --n-taxis 400 --seed 7
-    python -m repro run all --json
+    python -m repro run all --json --workers 4
     python -m repro run fig5b --trace --quick --out-dir /tmp/demo
+    python -m repro run all --resume runs/all-20260806-091500
     python -m repro report /tmp/demo
 
 Each experiment prints the same rows/series the paper's figure plots (see
-EXPERIMENTS.md for the paper-vs-measured comparison).  Testbeds are built
-once per invocation and shared across experiments.
+EXPERIMENTS.md for the paper-vs-measured comparison; docs/RUNNING.md for
+the full CLI guide).
 
 Every ``run`` writes a run directory (default ``runs/<run-id>``) holding a
-``MANIFEST.json`` provenance record, an ``events.jsonl`` event stream, and
-one CSV per experiment.  ``--trace`` additionally streams the full span
-hierarchy and auction audit trail into the JSONL; ``report`` reconstructs
-stage timings, reuse fractions, and per-winner payment explanations from
-that directory alone.
+``MANIFEST.json`` provenance record, an ``events.jsonl`` event stream, a
+``checkpoint.jsonl`` cell ledger, a ``metrics.json`` summary, and one CSV
+per experiment.  Experiments execute as *cell grids*: ``--workers N``
+shards the cells over N processes (``--workers 1``, the default, is the
+bit-exact serial path — parallel runs produce identical CSVs and metrics);
+``--resume <run-dir>`` re-opens an interrupted run and recomputes only the
+cells its checkpoint is missing.  ``--trace`` additionally streams the
+full span hierarchy and auction audit trail into the JSONL; ``report``
+reconstructs stage timings, reuse fractions, and per-winner payment
+explanations from that directory alone.
 """
 
 from __future__ import annotations
 
 import argparse
-import inspect
 import json
 import sys
 import time
 from pathlib import Path
 
 from .obs import EventLog, RunManifest, Tracer, build_report, format_report, new_run_id
+from .obs.metrics import MetricsRegistry
 from .simulation import experiments as exp
+from .simulation.checkpoint import CHECKPOINT_NAME, CheckpointLog, load_checkpoint
+from .simulation.parallel import ExperimentRunner
 
-#: experiment id -> (driver, testbed kind)
+#: experiment id -> (driver, testbed kind); ids double as GRIDS keys.
 EXPERIMENTS = {
     "fig3": (exp.run_fig3, "citywide"),
     "fig4": (exp.run_fig4, "citywide"),
@@ -44,6 +52,7 @@ EXPERIMENTS = {
     "fig7": (exp.run_fig7, "dense"),
     "fig8": (exp.run_fig8, "dense"),
     "fig9": (exp.run_fig9, "dense"),
+    "sweep-single": (exp.run_sweep_single, "dense"),
     "ablation-epsilon": (exp.run_ablation_epsilon, "dense"),
     "ablation-delta-q": (exp.run_ablation_delta_q, "dense"),
     "ablation-smoothing": (exp.run_ablation_smoothing, "citywide"),
@@ -66,6 +75,7 @@ QUICK_OVERRIDES = {
     "fig7": {"n_users": 15, "n_tasks": 6, "repeats": 1},
     "fig8": {"requirements": (0.5, 0.7), "n_users": 15, "n_tasks": 8, "repeats": 1},
     "fig9": {"requirements": (0.5, 0.7), "n_users": 15, "n_tasks": 8, "repeats": 1},
+    "sweep-single": {"n_users_list": (10, 14), "repeats": 1},
     "ablation-epsilon": {"epsilons": (1.0, 0.5), "n_users": 12, "repeats": 1},
     "ablation-delta-q": {
         "delta_q_values": (0.2, 0.1),
@@ -90,6 +100,27 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
     run.add_argument("--n-taxis", type=int, default=250, help="fleet size (default 250)")
     run.add_argument("--seed", type=int, default=42, help="testbed RNG seed (default 42)")
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for cell execution (default 1 = serial; "
+        "results are identical either way)",
+    )
+    run.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="cells per dispatch chunk (default: ~4 chunks per worker)",
+    )
+    run.add_argument(
+        "--resume",
+        type=Path,
+        default=None,
+        metavar="RUN_DIR",
+        help="re-open an interrupted run directory and compute only the "
+        "cells missing from its checkpoint.jsonl",
+    )
     run.add_argument(
         "--json",
         action="store_true",
@@ -122,27 +153,60 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_one(
-    name: str,
-    testbeds: dict[str, exp.Testbed],
-    tracer=None,
-    quick: bool = False,
-) -> tuple[exp.ExperimentResult, float]:
-    driver, kind = EXPERIMENTS[name]
-    kwargs = dict(QUICK_OVERRIDES.get(name, {})) if quick else {}
-    if tracer is not None and "tracer" in inspect.signature(driver).parameters:
-        kwargs["tracer"] = tracer
-    start = time.perf_counter()
-    result = driver(testbeds[kind], **kwargs)
-    elapsed = time.perf_counter() - start
-    return result, elapsed
+def _open_resume(args: argparse.Namespace) -> tuple[str, Path, dict] | int:
+    """Validate ``--resume`` and load the prior run's checkpoint.
+
+    Returns ``(run_id, out_dir, completed)`` or an exit code on refusal: a
+    checkpoint only describes the configuration it was written under, so
+    resuming with a different experiment set / seed / fleet / quick flag
+    would silently mix incompatible results.
+    """
+    out_dir = args.resume
+    manifest_ok = (out_dir / "MANIFEST.json").exists()
+    if not manifest_ok:
+        print(f"error: no MANIFEST.json in {out_dir}", file=sys.stderr)
+        return 2
+    prior = RunManifest.load(out_dir)
+    mismatches = []
+    for label, ours, theirs in (
+        ("experiment", args.experiment, prior.config.get("experiment")),
+        ("seed", args.seed, prior.seed),
+        ("n_taxis", args.n_taxis, prior.config.get("n_taxis")),
+        ("quick", args.quick, prior.config.get("quick")),
+    ):
+        if ours != theirs:
+            mismatches.append(f"{label}: run has {theirs!r}, command asks {ours!r}")
+    if mismatches:
+        print(
+            f"error: cannot resume {out_dir} with a different configuration:\n  "
+            + "\n  ".join(mismatches),
+            file=sys.stderr,
+        )
+        return 2
+    completed = load_checkpoint(out_dir / CHECKPOINT_NAME)
+    return prior.run_id, out_dir, completed
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    run_id = new_run_id(args.experiment)
-    out_dir = args.out_dir if args.out_dir is not None else Path("runs") / run_id
     quiet = args.json
+    completed: dict = {}
+    if args.resume is not None:
+        if args.out_dir is not None:
+            print(
+                "error: --resume already names the run directory; drop --out-dir",
+                file=sys.stderr,
+            )
+            return 2
+        opened = _open_resume(args)
+        if isinstance(opened, int):
+            return opened
+        run_id, out_dir, completed = opened
+        if not quiet:
+            print(f"# resuming {run_id}: {len(completed)} cell(s) already checkpointed")
+    else:
+        run_id = new_run_id(args.experiment)
+        out_dir = args.out_dir if args.out_dir is not None else Path("runs") / run_id
 
     manifest = RunManifest(
         run_id=run_id,
@@ -154,6 +218,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "quick": args.quick,
             "trace": args.trace,
             "experiment": args.experiment,
+            "workers": args.workers,
+            "chunk_size": args.chunk_size,
+            "resumed": args.resume is not None,
         },
         events_file="events.jsonl",
     )
@@ -162,66 +229,93 @@ def _cmd_run(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     summaries: list[dict] = []
     json_payload: list[dict] = []
+    metrics = MetricsRegistry()
     with EventLog(out_dir / "events.jsonl") as log:
         tracer = Tracer(sink=log.append, keep_records=False) if args.trace else None
 
-        kinds = {EXPERIMENTS[n][1] for n in names}
-        testbeds = {}
-        for kind in sorted(kinds):
-            if not quiet:
-                print(
-                    f"# building {kind} testbed ({args.n_taxis} taxis, seed {args.seed})..."
-                )
-            build_start = time.perf_counter()
-            testbeds[kind] = exp.build_testbed(
-                n_taxis=args.n_taxis, seed=args.seed, kind=kind
-            )
-            log.append(
-                {
-                    "type": "event",
-                    "span_id": None,
-                    "name": "testbed.built",
-                    "kind": kind,
-                    "n_taxis": args.n_taxis,
-                    "seed": args.seed,
-                    "elapsed_seconds": time.perf_counter() - build_start,
-                }
-            )
-
-        for name in names:
-            result, elapsed = _run_one(name, testbeds, tracer=tracer, quick=args.quick)
-            csv_name = f"{name}.csv"
-            result.save_csv(out_dir / csv_name)
-            manifest.artifacts.append(csv_name)
-            log.append(
-                {
-                    "type": "event",
-                    "span_id": None,
-                    "name": "experiment.end",
-                    "experiment": name,
-                    "elapsed_seconds": elapsed,
-                    "n_rows": len(result.rows),
-                }
-            )
-            summaries.append({"experiment": name, "elapsed_seconds": elapsed})
-            if quiet:
-                json_payload.append(
+        if args.workers <= 1:
+            # Warm the testbed cache up front (workers build their own); the
+            # event keeps testbed cost visible in `report` stage timings.
+            for kind in sorted({EXPERIMENTS[n][1] for n in names}):
+                if not quiet:
+                    print(
+                        f"# building {kind} testbed "
+                        f"({args.n_taxis} taxis, seed {args.seed})..."
+                    )
+                build_start = time.perf_counter()
+                exp.default_testbed(n_taxis=args.n_taxis, seed=args.seed, kind=kind)
+                log.append(
                     {
-                        "experiment_id": result.experiment_id,
-                        "description": result.description,
-                        "headers": list(result.headers),
-                        "rows": [list(row) for row in result.rows],
-                        "extras": result.extras,
-                        "elapsed_seconds": elapsed,
+                        "type": "event",
+                        "span_id": None,
+                        "name": "testbed.built",
+                        "kind": kind,
+                        "n_taxis": args.n_taxis,
+                        "seed": args.seed,
+                        "elapsed_seconds": time.perf_counter() - build_start,
                     }
                 )
-            else:
-                print(result.to_table())
-                if result.extras:
-                    for key, value in sorted(result.extras.items()):
-                        print(f"# {key} = {value}")
-                print(f"# completed in {elapsed:.1f}s\n")
 
+        with CheckpointLog(out_dir / CHECKPOINT_NAME) as checkpoint, ExperimentRunner(
+            workers=args.workers,
+            n_taxis=args.n_taxis,
+            seed=args.seed,
+            chunk_size=args.chunk_size,
+            tracer=tracer,
+            metrics=metrics,
+            checkpoint=checkpoint,
+            completed=completed,
+        ) as runner:
+            for name in names:
+                overrides = dict(QUICK_OVERRIDES.get(name, {})) if args.quick else {}
+                result, stats = runner.run(name, overrides)
+                manifest.cells[name] = stats
+                csv_name = f"{name}.csv"
+                result.save_csv(out_dir / csv_name)
+                manifest.artifacts.append(csv_name)
+                log.append(
+                    {
+                        "type": "event",
+                        "span_id": None,
+                        "name": "experiment.end",
+                        "experiment": name,
+                        "elapsed_seconds": stats["seconds"],
+                        "n_rows": len(result.rows),
+                        "cells_executed": stats["executed"],
+                        "cells_skipped": stats["skipped"],
+                    }
+                )
+                summaries.append(
+                    {"experiment": name, "elapsed_seconds": stats["seconds"], **stats}
+                )
+                if quiet:
+                    json_payload.append(
+                        {
+                            "experiment_id": result.experiment_id,
+                            "description": result.description,
+                            "headers": list(result.headers),
+                            "rows": [list(row) for row in result.rows],
+                            "extras": result.extras,
+                            "elapsed_seconds": stats["seconds"],
+                            "cells": stats,
+                        }
+                    )
+                else:
+                    print(result.to_table())
+                    if result.extras:
+                        for key, value in sorted(result.extras.items()):
+                            print(f"# {key} = {value}")
+                    skipped = (
+                        f" ({stats['skipped']} cell(s) from checkpoint)"
+                        if stats["skipped"]
+                        else ""
+                    )
+                    print(f"# completed in {stats['seconds']:.1f}s{skipped}\n")
+
+    (out_dir / "metrics.json").write_text(
+        json.dumps(metrics.to_dict(), indent=2, sort_keys=True) + "\n"
+    )
+    manifest.artifacts.append("metrics.json")
     manifest.wall_clock_seconds = time.perf_counter() - started
     manifest.write(out_dir)
 

@@ -244,8 +244,18 @@ def price_from_iterations(
     for required_gain, iteration in candidates:
         if required_gain > best_scale * declared_total * (1.0 + 1e-9):
             break
+        # Tie-breaking: on equal ratios the greedy keeps the lowest user id,
+        # so out-ranking an iteration winner with a *smaller* id requires
+        # strictly exceeding her ratio — merely matching it loses the tie.
+        # When capping saturates the user's gain exactly at the required
+        # gain, strict exceedance is unreachable at any scale and the
+        # iteration yields no candidate.
         scale = _min_scale_for_gain(
-            shares, declared_total, iteration.residual_before, required_gain
+            shares,
+            declared_total,
+            iteration.residual_before,
+            required_gain,
+            strict=user.user_id > iteration.user_id,
         )
         if scale is not None:
             best_scale = min(best_scale, scale)
@@ -261,6 +271,7 @@ def _min_scale_for_gain(
     declared_total: float,
     residual: dict[int, float],
     required_gain: float,
+    strict: bool = False,
 ) -> float | None:
     """Minimal ``s`` with ``Σ_j min(s·share_j·total, R_j) >= required_gain``.
 
@@ -268,6 +279,12 @@ def _min_scale_for_gain(
     with kinks where each task's residual cap starts binding; we walk the
     kinks in order.  Returns ``None`` when even ``s → ∞`` (every task capped
     at its residual) falls short.
+
+    With ``strict=True`` the gain must *strictly exceed* ``required_gain``
+    (the caller loses ratio ties).  On a rising segment the minimal scale is
+    the same point — any larger ``s`` strictly exceeds — but when the
+    required gain is only reached at the fully-capped plateau, no scale
+    achieves strict exceedance and the solve returns ``None``.
     """
     if required_gain <= 1e-15:
         return 0.0
@@ -280,7 +297,10 @@ def _min_scale_for_gain(
             continue
         rates.append((r_j / q_j, q_j, r_j))
         capped_total += r_j
-    if capped_total < required_gain - 1e-12:
+    if strict:
+        if capped_total <= required_gain + 1e-12:
+            return None
+    elif capped_total < required_gain - 1e-12:
         return None
     rates.sort()  # by kink position
     # Walk segments between consecutive kinks; slope = sum of q_j of tasks

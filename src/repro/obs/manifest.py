@@ -89,6 +89,9 @@ class RunManifest:
         wall_clock_seconds: Total run duration (filled at finalisation).
         events_file: Name of the JSONL event stream within the run dir.
         artifacts: Files the run wrote (relative to the run dir).
+        cells: Per-experiment cell provenance from the parallel runner —
+            experiment id → ``{"total", "executed", "skipped", "workers",
+            "chunk_size", "seconds"}`` (empty for pre-cell-grid runs).
     """
 
     run_id: str
@@ -104,6 +107,7 @@ class RunManifest:
     wall_clock_seconds: float | None = None
     events_file: str | None = None
     artifacts: list[str] = field(default_factory=list)
+    cells: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return asdict(self)

@@ -88,6 +88,23 @@ class Histogram:
             "mean": self.mean,
         }
 
+    def merge_summary(self, summary: dict) -> None:
+        """Fold another histogram's :meth:`summary` snapshot into this one.
+
+        Count/total add; min/max extend the envelope.  Used by
+        :meth:`MetricsRegistry.merge` to combine per-worker-cell histograms
+        into the parent registry without shipping raw observations.
+        """
+        count = int(summary.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(summary.get("total", 0.0))
+        if summary.get("min") is not None:
+            self.min = min(self.min, float(summary["min"]))
+        if summary.get("max") is not None:
+            self.max = max(self.max, float(summary["max"]))
+
 
 class MetricsRegistry:
     """Get-or-create registry of named counters, gauges, and histograms."""
@@ -180,6 +197,29 @@ class MetricsRegistry:
             self.gauge("execution.completion_rate").set(done_so_far / all_so_far)
         for utility in result.utilities.values():
             self.histogram("execution.realized_utility").observe(utility)
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`to_dict` snapshot into this one.
+
+        The cross-process analogue of ``PerfCounters.merge``: counters add,
+        gauges take the incoming value (last write wins, matching serial
+        semantics where later observations overwrite), histogram summaries
+        combine via :meth:`Histogram.merge_summary`.  The parallel runner
+        snapshots each cell's registry in its worker and merges the
+        snapshots here in cell-index order, so the parent registry ends up
+        identical to a serial run's.
+
+        Args:
+            snapshot: A ``MetricsRegistry.to_dict()``-shaped mapping with
+                ``counters`` / ``gauges`` / ``histograms`` keys (each
+                optional).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge_summary(summary)
 
     # ------------------------------------------------------------------ #
     # Export

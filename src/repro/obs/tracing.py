@@ -26,7 +26,7 @@ import threading
 import time
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 __all__ = ["Span", "Tracer", "NullTracer"]
 
@@ -147,6 +147,19 @@ class Tracer:
                     **attrs,
                 }
             )
+
+    def absorb(self, records: Iterable[dict]) -> None:
+        """Re-emit record dicts produced elsewhere (e.g. a worker process).
+
+        The parallel experiment runner traces each cell with a private
+        per-worker tracer, namespaces its span ids, and forwards the
+        records here so they join the parent's stream/sink.  Absorbed
+        records pass through verbatim — they do not interact with this
+        tracer's own span stack or id counter.
+        """
+        with self._lock:
+            for record in records:
+                self._emit(record)
 
     # ------------------------------------------------------------------ #
     # Inspection helpers (used by tests and in-process reporting)

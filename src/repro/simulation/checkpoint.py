@@ -1,0 +1,247 @@
+"""Checkpoint/resume protocol for the cell-grid experiment runner.
+
+The parallel runner (:mod:`repro.simulation.parallel`) decomposes every
+experiment into independent *cells* (one parameter point × repetition).  As
+each cell finishes, one JSON line is appended to ``checkpoint.jsonl`` inside
+the run directory; a resumed run loads that file, skips every recorded
+cell, and recomputes only the missing ones.  Records are therefore the unit
+of durability: a run killed mid-flight loses at most the cells that had not
+yet been flushed.
+
+Three layers, all stdlib + numpy:
+
+* :class:`CellRecord` / :func:`encode_record` / :func:`decode_record` —
+  the schema and its JSON round-trip;
+* :class:`CheckpointLog` / :func:`load_checkpoint` — append-only JSONL
+  persistence keyed by ``(experiment, cell_id)``;
+* :func:`spawn_cell_seeds` / :func:`normalize_values` — deterministic
+  per-cell seeding (``np.random.SeedSequence.spawn``) and the value
+  normalisation that makes resumed results bit-identical to fresh ones.
+
+Normalisation matters because resumed cell values pass through JSON while
+fresh ones do not: both paths round-trip through :func:`normalize_values`,
+so a merged result never depends on *which* cells came from the checkpoint.
+
+>>> rec = CellRecord(experiment="fig5a", cell_id="n20-rep0", index=0,
+...                  params={"epsilon": 0.5}, values={"fptas": 3.25})
+>>> decode_record(encode_record(rec)) == rec
+True
+>>> normalize_values({"cost": np.float64(1.5), "ids": (1, 2)})
+{'cost': 1.5, 'ids': [1, 2]}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "CHECKPOINT_NAME",
+    "CellRecord",
+    "CheckpointLog",
+    "decode_record",
+    "encode_record",
+    "load_checkpoint",
+    "normalize_values",
+    "spawn_cell_seeds",
+]
+
+#: File name of the checkpoint stream within a run directory.
+CHECKPOINT_NAME = "checkpoint.jsonl"
+
+
+def _json_default(value):
+    """Coerce the non-JSON types cell values may contain."""
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if isinstance(value, Path):
+        return str(value)
+    if hasattr(value, "tolist"):  # numpy scalars and arrays alike
+        return value.tolist()
+    raise TypeError(f"cannot serialise {type(value).__name__} in a checkpoint record")
+
+
+def normalize_values(values: dict) -> dict:
+    """Round-trip a cell's value dict through JSON.
+
+    Applied to **every** cell result — fresh or loaded from a checkpoint —
+    before aggregation, so tuples become lists, numpy scalars become Python
+    numbers, and dict keys become strings in both paths alike.  Without
+    this, a resumed run could aggregate a mix of raw and JSON-decoded
+    values and drift from the uninterrupted run.
+
+    Args:
+        values: JSON-serialisable mapping produced by a cell.
+
+    Returns:
+        The mapping as ``json.loads(json.dumps(values))`` would decode it.
+
+    Raises:
+        TypeError: If a value is not JSON-serialisable even after numpy /
+            set / path coercion.
+
+    >>> normalize_values({"xs": (1.0, 2.0), "n": np.int64(3)})
+    {'xs': [1.0, 2.0], 'n': 3}
+    """
+    return json.loads(json.dumps(values, default=_json_default))
+
+
+def spawn_cell_seeds(root_seed: int, n: int) -> tuple[int, ...]:
+    """Derive ``n`` statistically independent cell seeds from one root seed.
+
+    Uses ``np.random.SeedSequence(root_seed).spawn(n)`` — the children are
+    independent high-entropy streams, yet the whole tuple is a pure
+    function of ``(root_seed, n)``, so any worker (or a resumed run) can
+    regenerate cell ``i``'s seed without coordination.
+
+    Args:
+        root_seed: The experiment-level seed.
+        n: Number of cells to seed.
+
+    Returns:
+        ``n`` seeds, one per cell, in cell-index order.
+
+    >>> a = spawn_cell_seeds(42, 4)
+    >>> a == spawn_cell_seeds(42, 4)          # deterministic
+    True
+    >>> len(set(a)) == 4                      # distinct per cell
+    True
+    >>> a[:2] == spawn_cell_seeds(42, 2)      # prefix-stable
+    True
+    """
+    children = np.random.SeedSequence(root_seed).spawn(n)
+    return tuple(int(child.generate_state(1, dtype=np.uint64)[0]) for child in children)
+
+
+@dataclass(frozen=True)
+class CellRecord:
+    """One completed cell, as persisted in ``checkpoint.jsonl``.
+
+    Attributes:
+        experiment: Experiment id the cell belongs to (e.g. ``"fig5a"``).
+        cell_id: Stable human-readable id within the experiment
+            (e.g. ``"n20-rep1"``); unique per experiment.
+        index: The cell's position in the grid's canonical order —
+            aggregation replays cells in this order so float accumulation
+            matches the serial run exactly.
+        params: The resolved experiment parameters the cell ran under
+            (used to reject resuming into a differently-configured run).
+        values: The cell's outputs (:func:`normalize_values`-normalised).
+        seconds: Wall-clock the cell took, for scheduling diagnostics.
+        pid: OS process id that executed the cell (worker provenance).
+        metrics: Optional ``MetricsRegistry.to_dict()`` snapshot of the
+            cell's metrics, merged into the parent registry on resume.
+    """
+
+    experiment: str
+    cell_id: str
+    index: int
+    params: dict = field(default_factory=dict)
+    values: dict = field(default_factory=dict)
+    seconds: float | None = None
+    pid: int | None = None
+    metrics: dict | None = None
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """The ``(experiment, cell_id)`` identity used for resume lookups."""
+        return (self.experiment, self.cell_id)
+
+
+def encode_record(record: CellRecord) -> str:
+    """Serialise a :class:`CellRecord` as one JSON line (no trailing newline).
+
+    >>> encode_record(CellRecord("fig5a", "n20-rep0", 0)).startswith('{"')
+    True
+    """
+    return json.dumps(asdict(record), default=_json_default, sort_keys=True)
+
+
+def decode_record(line: str) -> CellRecord:
+    """Parse one checkpoint line back into a :class:`CellRecord`.
+
+    Raises:
+        ValueError: If the line is not a JSON object with the record fields.
+    """
+    payload = json.loads(line)
+    if not isinstance(payload, dict):
+        raise ValueError(f"checkpoint line is not an object: {line!r}")
+    known = set(CellRecord.__dataclass_fields__)
+    return CellRecord(**{k: v for k, v in payload.items() if k in known})
+
+
+class CheckpointLog:
+    """Append-only JSONL writer for completed cells.
+
+    Opens the file in append mode — a resumed run keeps extending the same
+    checkpoint, so the file accumulates the union of all attempts.  Each
+    record is flushed immediately: durability is per-cell, which is the
+    whole point of checkpointing.
+
+    Usable as a context manager::
+
+        with CheckpointLog(run_dir / CHECKPOINT_NAME) as ckpt:
+            ckpt.append(record)
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self.n_written = 0
+
+    def append(self, record: CellRecord) -> None:
+        """Write one record and flush it to disk."""
+        self._handle.write(encode_record(record) + "\n")
+        self._handle.flush()
+        self.n_written += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "CheckpointLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def load_checkpoint(path: str | Path) -> dict[tuple[str, str], CellRecord]:
+    """Load every completed cell from a checkpoint file.
+
+    Args:
+        path: The ``checkpoint.jsonl`` file (missing file → empty dict).
+
+    Returns:
+        Mapping ``(experiment, cell_id) -> CellRecord``.  When the same
+        cell appears more than once (an interrupted run resumed twice),
+        the **last** record wins.  A trailing partially-written line —
+        the signature of a kill mid-flush — is ignored; any other corrupt
+        line raises.
+
+    Raises:
+        ValueError: On a corrupt non-trailing line, with its 1-based
+            line number.
+    """
+    path = Path(path)
+    if not path.exists():
+        return {}
+    completed: dict[tuple[str, str], CellRecord] = {}
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = decode_record(line)
+        except (ValueError, TypeError) as error:
+            if lineno == len(lines):
+                break  # torn final write from an interrupted run
+            raise ValueError(
+                f"{path}:{lineno}: corrupt checkpoint record: {error}"
+            ) from error
+        completed[record.key] = record
+    return completed

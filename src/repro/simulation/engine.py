@@ -88,6 +88,15 @@ class ExecutionSimulator:
 
         Each winner succeeds with her true PoS (derived from the instance's
         contribution); the task completes if any winner succeeds.
+
+        Args:
+            instance: The (true-type) instance the auction was cleared on.
+            outcome: The cleared auction — winners and their EC contracts.
+            task_id: Id to report the task's completion under.
+
+        Returns:
+            The realised :class:`ExecutionResult`; also folded into the
+            simulator's metrics registry when one was given.
         """
         user_success: dict[int, bool] = {}
         rewards_paid: dict[int, float] = {}
@@ -119,6 +128,16 @@ class ExecutionSimulator:
         the true per-task PoS.  A winner "succeeds" — for her EC contract —
         when any of her attempts does (§III-C); a task completes when any
         winner attempting it succeeds.
+
+        Args:
+            instance: The (true-type) instance the auction was cleared on.
+            outcome: The cleared multi-task auction with its EC contracts.
+
+        Returns:
+            The realised :class:`ExecutionResult`, including the raw
+            per-(winner, task) ``attempts`` that adaptive PoS learning
+            consumes; also folded into the simulator's metrics registry
+            when one was given.
         """
         task_completed: dict[int, bool] = {t.task_id: False for t in instance.tasks}
         user_success: dict[int, bool] = {}
@@ -161,6 +180,19 @@ def empirical_task_pos(
 
     Cross-checks the analytic ``1 − Π(1 − p_i^j)``; agreement is asserted by
     the integration tests.
+
+    Args:
+        instance: The (true-type) multi-task instance.
+        winners: The winner set whose execution is simulated.
+        n_trials: Independent executions to average over.
+        seed: RNG seed for the attempt draws.
+
+    Returns:
+        Mapping task id → fraction of trials in which the task completed
+        (0.0 for tasks no winner attempts).
+
+    Raises:
+        ValidationError: If ``n_trials`` is not positive.
     """
     if n_trials <= 0:
         raise ValidationError(f"n_trials must be positive, got {n_trials!r}")

@@ -16,7 +16,7 @@ from hypothesis import given, settings
 from repro.core.critical import critical_contribution_multi
 from repro.core.errors import InfeasibleInstanceError
 from repro.core.greedy import greedy_allocation
-from repro.core.types import AuctionInstance
+from repro.core.types import AuctionInstance, Task, UserType
 
 from ..conftest import make_random_multi_task, multi_task_instances
 
@@ -75,6 +75,36 @@ class TestThresholdMatchesBruteForce:
         analytic = critical_contribution_multi(instance, uid, method="threshold")
         brute = brute_force_threshold(instance, uid)
         assert analytic == pytest.approx(brute, rel=1e-3, abs=1e-6)
+
+    def test_capped_tie_against_lower_id(self):
+        """Regression (hypothesis-found): losing a ratio tie on a capped gain.
+
+        Without user 2, the counterfactual greedy picks user 0 then user 1;
+        at iteration 2 user 1's gain equals the full residual, so user 2 can
+        *match* but never *beat* her ratio (same cost, gain capped at the
+        same residual) — and the tie-break keeps the lower id.  The solver
+        must therefore discard the iteration-2 candidate and price user 2
+        against iteration 1 (out-bidding user 0's full gain).
+        """
+        instance = AuctionInstance(
+            tasks=(Task(task_id=0, requirement=0.0976727572322843),),
+            users=(
+                UserType(user_id=0, cost=0.5, pos={0: 0.0625}),
+                UserType(user_id=1, cost=0.5, pos={0: 0.0625}),
+                UserType(user_id=2, cost=0.5, pos={0: 0.5}),
+            ),
+        )
+        trace = greedy_allocation(instance, require_feasible=False)
+        assert trace.selected == (2,)
+        analytic = critical_contribution_multi(instance, 2, method="threshold")
+        brute = brute_force_threshold(instance, 2)
+        assert analytic == pytest.approx(brute, rel=1e-3, abs=1e-6)
+        # The critical bid equals user 0's full contribution, not the
+        # iteration-2 residual the buggy weak-inequality solve returned.
+        assert analytic == pytest.approx(
+            UserType(user_id=0, cost=0.5, pos={0: 0.0625}).total_contribution(),
+            rel=1e-6,
+        )
 
 
 class TestWinFlipsAtThreshold:

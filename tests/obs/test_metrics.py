@@ -122,3 +122,41 @@ class TestProducers:
         registry.histogram("h").observe(2)
         text = registry.format()
         assert "counter" in text and "gauge" in text and "histogram" in text
+
+
+class TestMerge:
+    def test_merge_is_equivalent_to_direct_observation(self):
+        direct = MetricsRegistry()
+        part_a, part_b = MetricsRegistry(), MetricsRegistry()
+        for value, registry in ((1.0, part_a), (3.0, part_b), (2.0, part_b)):
+            direct.histogram("h").observe(value)
+            registry.histogram("h").observe(value)
+            direct.counter("c").inc(value)
+            registry.counter("c").inc(value)
+            direct.gauge("g").set(value)
+            registry.gauge("g").set(value)
+        merged = MetricsRegistry()
+        merged.merge(part_a.to_dict())
+        merged.merge(part_b.to_dict())
+        assert merged.to_dict() == direct.to_dict()
+
+    def test_merge_empty_histogram_is_noop(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(5.0)
+        registry.merge({"histograms": {"h": {"count": 0, "total": 0.0,
+                                             "min": None, "max": None, "mean": None}}})
+        assert registry.to_dict()["histograms"]["h"]["count"] == 1
+
+    def test_merge_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1.0)
+        registry.merge({"gauges": {"g": 7.0}})
+        assert registry.to_dict()["gauges"]["g"] == 7.0
+
+    def test_merge_into_empty_registry_reproduces_snapshot(self):
+        source = MetricsRegistry()
+        source.counter("auction.runs").inc(2)
+        source.histogram("auction.winners").observe(4)
+        target = MetricsRegistry()
+        target.merge(source.to_dict())
+        assert target.to_dict() == source.to_dict()

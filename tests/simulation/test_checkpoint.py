@@ -1,0 +1,139 @@
+"""Checkpoint protocol: record round-trip, JSONL durability, cell seeding."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.simulation.checkpoint import (
+    CHECKPOINT_NAME,
+    CellRecord,
+    CheckpointLog,
+    decode_record,
+    encode_record,
+    load_checkpoint,
+    normalize_values,
+    spawn_cell_seeds,
+)
+
+
+class TestNormalizeValues:
+    def test_json_round_trip_types(self):
+        values = {
+            "f": np.float64(1.25),
+            "i": np.int64(7),
+            "t": (1, 2.5),
+            "s": {3, 1, 2},
+            "arr": np.array([1.0, 2.0]),
+        }
+        assert normalize_values(values) == {
+            "f": 1.25,
+            "i": 7,
+            "t": [1, 2.5],
+            "s": [1, 2, 3],
+            "arr": [1.0, 2.0],
+        }
+
+    def test_idempotent(self):
+        values = normalize_values({"xs": (0.1, 0.2), "n": np.int32(3)})
+        assert normalize_values(values) == values
+
+    def test_rejects_unserialisable(self):
+        with pytest.raises(TypeError):
+            normalize_values({"bad": object()})
+
+    def test_floats_survive_exactly(self):
+        # Aggregation equality depends on JSON float round-trips being exact.
+        tricky = [0.1 + 0.2, 1e-308, 76.86970265118472, np.pi]
+        assert normalize_values({"xs": tricky})["xs"] == tricky
+
+
+class TestSpawnCellSeeds:
+    def test_deterministic_distinct_prefix_stable(self):
+        seeds = spawn_cell_seeds(123, 8)
+        assert seeds == spawn_cell_seeds(123, 8)
+        assert len(set(seeds)) == 8
+        assert seeds[:3] == spawn_cell_seeds(123, 3)
+        assert spawn_cell_seeds(124, 8) != seeds
+
+    def test_seeds_survive_json(self):
+        # Spawned seeds can exceed 2**53; Python's json keeps ints exact.
+        seeds = spawn_cell_seeds(0, 64)
+        assert max(seeds) > 2**53  # the property the test guards
+        assert json.loads(json.dumps(list(seeds))) == list(seeds)
+
+
+class TestRecordRoundTrip:
+    def test_encode_decode(self):
+        record = CellRecord(
+            experiment="fig5a",
+            cell_id="n20-rep1",
+            index=3,
+            params={"epsilon": 0.5, "n_users_list": [20]},
+            values={"fptas": 1.5},
+            seconds=0.25,
+            pid=1234,
+            metrics={"counters": {"auction.runs": 1.0}},
+        )
+        assert decode_record(encode_record(record)) == record
+
+    def test_decode_ignores_unknown_fields(self):
+        line = encode_record(CellRecord("fig5a", "c", 0))
+        payload = json.loads(line)
+        payload["future_field"] = True
+        assert decode_record(json.dumps(payload)).cell_id == "c"
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            decode_record("[1, 2, 3]")
+
+
+class TestCheckpointLog:
+    def make_record(self, i, experiment="fig5a"):
+        return CellRecord(experiment, f"cell{i}", i, values={"x": float(i)})
+
+    def test_append_and_load(self, tmp_path):
+        path = tmp_path / CHECKPOINT_NAME
+        with CheckpointLog(path) as log:
+            for i in range(3):
+                log.append(self.make_record(i))
+            assert log.n_written == 3
+        loaded = load_checkpoint(path)
+        assert set(loaded) == {("fig5a", f"cell{i}") for i in range(3)}
+        assert loaded[("fig5a", "cell1")].values == {"x": 1.0}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_checkpoint(tmp_path / "absent.jsonl") == {}
+
+    def test_reopen_appends(self, tmp_path):
+        path = tmp_path / CHECKPOINT_NAME
+        with CheckpointLog(path) as log:
+            log.append(self.make_record(0))
+        with CheckpointLog(path) as log:
+            log.append(self.make_record(1))
+        assert len(load_checkpoint(path)) == 2
+
+    def test_last_record_wins(self, tmp_path):
+        path = tmp_path / CHECKPOINT_NAME
+        with CheckpointLog(path) as log:
+            log.append(self.make_record(0))
+            log.append(CellRecord("fig5a", "cell0", 0, values={"x": 99.0}))
+        assert load_checkpoint(path)[("fig5a", "cell0")].values == {"x": 99.0}
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / CHECKPOINT_NAME
+        with CheckpointLog(path) as log:
+            log.append(self.make_record(0))
+            log.append(self.make_record(1))
+        # Simulate a kill mid-flush: chop the file inside the last record.
+        text = path.read_text()
+        path.write_text(text[: len(text) - 20])
+        loaded = load_checkpoint(path)
+        assert set(loaded) == {("fig5a", "cell0")}
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = tmp_path / CHECKPOINT_NAME
+        good = encode_record(self.make_record(0))
+        path.write_text("not json at all\n" + good + "\n")
+        with pytest.raises(ValueError, match=":1:"):
+            load_checkpoint(path)

@@ -1,0 +1,59 @@
+"""The documentation link-check (tools/check_docs.py) passes on this repo —
+and actually catches planted rot."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CHECKER = REPO / "tools" / "check_docs.py"
+
+
+def run_checker(*args):
+    return subprocess.run(
+        [sys.executable, str(CHECKER), *args],
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestRepoDocs:
+    def test_repo_docs_are_clean(self):
+        proc = run_checker()
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "docs OK" in proc.stdout
+
+    def test_checks_the_expected_documents(self):
+        proc = run_checker()
+        for name in ("README.md", "EXPERIMENTS.md", "docs/ARCHITECTURE.md", "docs/RUNNING.md"):
+            assert name in proc.stdout
+
+
+class TestCatchesRot:
+    def test_broken_link_target_fails(self, tmp_path):
+        (tmp_path / "README.md").write_text("see [the guide](docs/NOPE.md)\n")
+        proc = run_checker(str(tmp_path))
+        assert proc.returncode == 1
+        assert "README.md:1" in proc.stdout
+        assert "docs/NOPE.md" in proc.stdout
+
+    def test_missing_backtick_path_fails(self, tmp_path):
+        (tmp_path / "README.md").write_text("run `scripts/do_thing.py` first\n")
+        proc = run_checker(str(tmp_path))
+        assert proc.returncode == 1
+        assert "scripts/do_thing.py" in proc.stdout
+
+    def test_placeholders_commands_and_runtime_paths_are_skipped(self, tmp_path):
+        (tmp_path / "README.md").write_text(
+            "`runs/<id>/out.csv` then `python tools/x.py --flag` then"
+            " [web](https://example.com) and [anchor](#section)\n"
+        )
+        proc = run_checker(str(tmp_path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_existing_relative_reference_passes(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "GUIDE.md").write_text("# guide\n")
+        (tmp_path / "README.md").write_text("see [guide](docs/GUIDE.md) and `docs/GUIDE.md`\n")
+        proc = run_checker(str(tmp_path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Fail if the prose documentation references files that do not exist.
+
+Scans README.md, EXPERIMENTS.md, DESIGN.md, ROADMAP.md, and docs/*.md for
+
+* markdown link targets — ``[text](path)`` with a relative ``path`` must
+  resolve (against the linking document's directory) to an existing file;
+* backtick path tokens — a single `` `token` `` containing ``/`` that looks
+  like a repository path (plain ``[A-Za-z0-9_./-]`` characters, no spaces)
+  must exist.  The docs' shorthand of package-relative paths
+  (``core/fptas.py`` for ``src/repro/core/fptas.py``) is honoured.
+
+Tokens that are clearly not repo paths are skipped: URLs, anchors,
+placeholders containing ``<>{}*()=``, shell commands (whitespace), and
+runtime artifact locations (``runs/...``, ``benchmarks/results/...``).
+
+Usage::
+
+    python tools/check_docs.py            # checks the repo it lives in
+    python tools/check_docs.py /some/repo
+
+Exits 0 when every reference resolves, 1 otherwise (each broken reference
+is printed as ``file:line: message``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+DOC_GLOBS = ["README.md", "EXPERIMENTS.md", "DESIGN.md", "ROADMAP.md", "docs/*.md"]
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+BACKTICK = re.compile(r"`([^`\n]+)`")
+# A backtick token we are willing to call "a path": no spaces, no
+# placeholder/markup characters, at least one '/'.
+PATHLIKE = re.compile(r"^[A-Za-z0-9_.\-/]+$")
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+# Locations that only exist after running something.
+RUNTIME_PREFIXES = ("runs/", "benchmarks/results/")
+
+
+def iter_docs(root: Path):
+    for pattern in DOC_GLOBS:
+        yield from sorted(root.glob(pattern))
+
+
+def check_doc(root: Path, doc: Path) -> list[str]:
+    """Return ``file:line: message`` strings for every broken reference."""
+    errors: list[str] = []
+    in_fence = False
+    for lineno, line in enumerate(doc.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        for match in MD_LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES):
+                continue
+            target = target.split("#", 1)[0]
+            if not target or target.startswith(RUNTIME_PREFIXES):
+                continue
+            if not (doc.parent / target).exists():
+                errors.append(
+                    f"{doc.relative_to(root)}:{lineno}: broken link target {target!r}"
+                )
+        if in_fence:
+            continue
+        for match in BACKTICK.finditer(line):
+            token = match.group(1).rstrip("/")
+            if "/" not in token or not PATHLIKE.match(token):
+                continue
+            if token.startswith(RUNTIME_PREFIXES) or token.startswith("/"):
+                continue
+            if token.startswith("repro."):  # dotted Python reference, not a path
+                continue
+            candidates = (root / token, doc.parent / token, root / "src/repro" / token)
+            if not any(c.exists() for c in candidates):
+                errors.append(
+                    f"{doc.relative_to(root)}:{lineno}: path {token!r} does not exist"
+                )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    root = Path(args[0]).resolve() if args else Path(__file__).resolve().parent.parent
+    docs = list(iter_docs(root))
+    if not docs:
+        print(f"error: no documentation found under {root}", file=sys.stderr)
+        return 1
+    errors = [err for doc in docs for err in check_doc(root, doc)]
+    for err in errors:
+        print(err)
+    checked = ", ".join(str(d.relative_to(root)) for d in docs)
+    if errors:
+        print(f"{len(errors)} broken reference(s) across {checked}", file=sys.stderr)
+        return 1
+    print(f"docs OK: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
