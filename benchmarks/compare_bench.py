@@ -5,11 +5,18 @@ Usage::
     python benchmarks/compare_bench.py OLD.json NEW.json [--tolerance 0.8]
 
 Each dump is a ``{"records": {key: record}}`` mapping as written by
-:func:`benchmarks.bench_pricing.write_records`.  For every key present in
-both files the tool compares the ``speedup`` fields; a record **regresses**
-when ``new_speedup < tolerance * old_speedup`` (default tolerance 0.8, i.e.
-a >20% drop).  Keys present in only one file are reported but never fail
-the comparison — benchmarks come and go across PRs.
+:func:`benchmarks.bench_pricing.write_records` or
+:func:`benchmarks.bench_scalability.write_kernel_records`.  A record whose
+``sweep`` field holds a list of per-size points (the ``BENCH_kernels.json``
+n-sweeps) is expanded into one pseudo-record per point, keyed
+``"<key>@n=<n_users>"``, so a regression is flagged at the size where it
+happens — the *curve* is compared, not one number.  For every key present
+in both files the tool compares the ``speedup`` fields; a record
+**regresses** when ``new_speedup < tolerance * old_speedup`` (default
+tolerance 0.8, i.e. a >20% drop).  Keys present in only one file — or
+records without a ``speedup``, like vectorized-only sweep points and the
+headline auction datapoint — are reported but never fail the comparison;
+benchmarks come and go across PRs.
 
 Exit status: 0 when no record regresses, 1 otherwise — usable as a CI
 gate between a baseline dump and a fresh ``pytest -m perf`` run.
@@ -23,7 +30,14 @@ import sys
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["Comparison", "load_records", "compare", "format_comparison", "main"]
+__all__ = [
+    "Comparison",
+    "load_records",
+    "expand_sweeps",
+    "compare",
+    "format_comparison",
+    "main",
+]
 
 DEFAULT_TOLERANCE = 0.8
 
@@ -55,14 +69,45 @@ def load_records(path: str | Path) -> dict[str, dict]:
     return records
 
 
+def expand_sweeps(records: dict[str, dict]) -> dict[str, dict]:
+    """Flatten n-sweep records into one pseudo-record per sweep point.
+
+    A record whose ``sweep`` field is a list of per-size points contributes
+    the key ``"<key>@n=<n_users>"`` for every point that carries both an
+    ``n_users`` and a ``speedup`` — so each size on the scaling curve is
+    compared independently.  Vectorized-only points (no reference timing,
+    hence no ``speedup``) are dropped here and surface through the
+    only-old/only-new listings instead.  Records without a ``sweep`` pass
+    through unchanged.
+    """
+    out: dict[str, dict] = {}
+    for key, record in records.items():
+        sweep = record.get("sweep") if isinstance(record, dict) else None
+        if not isinstance(sweep, list):
+            out[key] = record
+            continue
+        for point in sweep:
+            if isinstance(point, dict) and "speedup" in point and "n_users" in point:
+                out[f"{key}@n={point['n_users']}"] = point
+    return out
+
+
 def compare(
     old: dict[str, dict],
     new: dict[str, dict],
     tolerance: float = DEFAULT_TOLERANCE,
 ) -> tuple[list[Comparison], list[str], list[str]]:
-    """Compare shared keys; also return keys only in old / only in new."""
+    """Compare shared keys; also return keys only in old / only in new.
+
+    Sweep records are expanded via :func:`expand_sweeps` first.  Shared
+    keys whose record lacks a ``speedup`` field on either side (e.g. the
+    headline auction datapoint, which records wall clock only) are skipped:
+    they cannot regress by the speedup criterion.
+    """
     if not 0 < tolerance <= 1:
         raise ValueError(f"tolerance must be in (0, 1], got {tolerance!r}")
+    old = expand_sweeps(old)
+    new = expand_sweeps(new)
     shared = sorted(set(old) & set(new))
     comparisons = [
         Comparison(
@@ -72,6 +117,7 @@ def compare(
             tolerance=tolerance,
         )
         for key in shared
+        if "speedup" in old[key] and "speedup" in new[key]
     ]
     only_old = sorted(set(old) - set(new))
     only_new = sorted(set(new) - set(old))

@@ -31,10 +31,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
 
+from .core.kernels import ENV_KERNEL, KERNELS, resolve_kernel
 from .obs import EventLog, RunManifest, Tracer, build_report, format_report, new_run_id
 from .obs.metrics import MetricsRegistry
 from .simulation import experiments as exp
@@ -142,6 +144,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="shrink every experiment to a smoke-test size",
     )
+    run.add_argument(
+        "--kernel",
+        choices=list(KERNELS),
+        default=None,
+        help="mechanism compute kernel (default: vectorized, or the "
+        f"{ENV_KERNEL} environment variable); results are bit-identical",
+    )
 
     report = sub.add_parser(
         "report", help="reconstruct a run from its manifest + events.jsonl"
@@ -167,12 +176,17 @@ def _open_resume(args: argparse.Namespace) -> tuple[str, Path, dict] | int:
         print(f"error: no MANIFEST.json in {out_dir}", file=sys.stderr)
         return 2
     prior = RunManifest.load(out_dir)
+    kernel = resolve_kernel(args.kernel)
     mismatches = []
     for label, ours, theirs in (
         ("experiment", args.experiment, prior.config.get("experiment")),
         ("seed", args.seed, prior.seed),
         ("n_taxis", args.n_taxis, prior.config.get("n_taxis")),
         ("quick", args.quick, prior.config.get("quick")),
+        # Kernels are bit-identical, but a checkpoint should still describe
+        # the configuration it resumes under; pre-kernel manifests (no
+        # "kernel" key) accept whatever resolves now.
+        ("kernel", kernel, prior.config.get("kernel", kernel)),
     ):
         if ours != theirs:
             mismatches.append(f"{label}: run has {theirs!r}, command asks {ours!r}")
@@ -190,6 +204,11 @@ def _open_resume(args: argparse.Namespace) -> tuple[str, Path, dict] | int:
 def _cmd_run(args: argparse.Namespace) -> int:
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     quiet = args.json
+    if args.kernel is not None:
+        # Exporting (rather than set_default_kernel) propagates the choice
+        # into the worker processes the parallel runner spawns.
+        os.environ[ENV_KERNEL] = args.kernel
+    kernel = resolve_kernel(args.kernel)
     completed: dict = {}
     if args.resume is not None:
         if args.out_dir is not None:
@@ -221,6 +240,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "workers": args.workers,
             "chunk_size": args.chunk_size,
             "resumed": args.resume is not None,
+            "kernel": kernel,
         },
         events_file="events.jsonl",
     )

@@ -87,6 +87,7 @@ def critical_contribution_single(
     tolerance: float = DEFAULT_TOLERANCE,
     allocator: WinPredicate | None = None,
     tracer=None,
+    kernel: str | None = None,
 ) -> float:
     """Binary-search the critical contribution of a single-task winner.
 
@@ -102,6 +103,9 @@ def critical_contribution_single(
         tracer: Optional duck-typed :class:`repro.obs.tracing.Tracer`; when
             set, every bisection probe is recorded as a ``critical.probe``
             audit event.
+        kernel: Compute kernel for the counterfactual FPTAS runs (ignored
+            when ``allocator`` is given); ``None`` defers to
+            :func:`repro.core.kernels.resolve_kernel`.
 
     Returns:
         The minimum contribution ``q̄_i`` (within ``tolerance``) at which the
@@ -118,7 +122,7 @@ def critical_contribution_single(
             if allocator is not None:
                 won = user_id in allocator(modified)
             else:
-                won = user_id in fptas_min_knapsack(modified, epsilon).selected
+                won = user_id in fptas_min_knapsack(modified, epsilon, kernel=kernel).selected
         except InfeasibleInstanceError:
             # Lowering a pivotal user's contribution below the point where
             # the task is coverable at all: the auction cannot clear, so she
@@ -148,7 +152,11 @@ def critical_contribution_single(
 
 
 def critical_contribution_multi(
-    instance: AuctionInstance, user_id: int, method: str = "threshold", tracer=None
+    instance: AuctionInstance,
+    user_id: int,
+    method: str = "threshold",
+    tracer=None,
+    kernel: str | None = None,
 ) -> float:
     """Critical total contribution for a multi-task winner.
 
@@ -164,13 +172,15 @@ def critical_contribution_multi(
     ``tracer`` (duck-typed, default off) wraps the rerun in a
     ``counterfactual`` span and records an ``audit.counterfactual`` event
     (the reference path replays the full trace, so ``prefix_reused`` is 0).
+    ``kernel`` selects the greedy compute kernel for the rerun (``None``
+    defers to :func:`repro.core.kernels.resolve_kernel`).
     """
     if method not in ("threshold", "paper"):
         raise ValueError(f"unknown critical-bid method {method!r}")
     user = instance.user_by_id(user_id)
     counterfactual = instance.without_user(user_id)
     with _span(tracer, "counterfactual", user_id=user_id):
-        trace = greedy_allocation(counterfactual, require_feasible=False)
+        trace = greedy_allocation(counterfactual, require_feasible=False, kernel=kernel)
         price = price_from_iterations(user, trace.iterations, trace.satisfied, method)
     _emit(
         tracer,

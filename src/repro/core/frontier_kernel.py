@@ -1,0 +1,236 @@
+"""Array Pareto-frontier kernel for the FPTAS min-knapsack DP.
+
+The reference DP (:func:`repro.core.fptas._min_knapsack_scaled`) allocates
+a dense value row and decision matrix over *every* integer cost in
+``[0, c_max]`` — ``n·(c_max+1)`` cells up front, most of them unreachable
+or dominated.  This kernel keeps only the **Pareto frontier**: states
+``(cost, value)`` where the value strictly exceeds that of every cheaper
+state.  States live in parallel numpy arrays (costs ascending, values
+strictly increasing); item layers are applied by a vectorised
+merge-dedup-prune, and chosen sets are reconstructed from an append-only
+node store of ``(item, parent)`` pairs — Algorithm 1's parent pointers in
+flat arrays.
+
+**Exact-parity contract.**  The kernel reproduces the dense DP
+bit-for-bit, which the mechanism stack relies on:
+
+* merge ties follow the dense rule — a new state (take item ``j``)
+  replaces an old one only when its value is *strictly* greater at the
+  same integer cost (the dense ``np.greater`` keeps the no-take branch on
+  ties), so first-achiever attribution matches;
+* every state the dense backward walk visits is Pareto-optimal at its
+  layer (otherwise a cheaper completion would beat the minimal feasible
+  cost), so the walk never leaves the frontier, and the node chain
+  replays it item for item;
+* frontier values accumulate ``parent + q_j`` along the same chains in
+  the same order as the dense row updates, so the floats — and the
+  ``value >= requirement − ε`` feasibility comparisons — are identical.
+
+Unlike :func:`repro.core.knapsack._merge_frontiers` (the paper-literal
+list DP with ``1e-12``-fuzzy comparisons), this kernel compares costs and
+values *exactly*; its oracle is the dense DP, not the list DP.
+
+**Allocation guard.**  The dense solver must refuse up front based on
+``n·(c_max+1)``; this kernel allocates per surviving state, so it guards
+the *actual* cumulative allocation instead and raises the same typed
+:class:`ValidationError` only when the frontier itself outgrows the
+budget.  Instances the dense pre-check refuses (huge cost spread, tiny
+frontier) therefore solve fine under ``kernel="vectorized"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import ValidationError
+
+__all__ = ["FrontierState", "frontier_init", "frontier_rows", "frontier_answer"]
+
+
+class FrontierState:
+    """Mutable frontier: parallel state arrays plus the node store.
+
+    Attributes:
+        costs: Integer scaled costs, strictly ascending (``int64``).
+        values: Contributions, strictly increasing (``float64``).
+        nodes: Per-state node id into the store (``-1`` for the empty set).
+        node_item: Item index taken at each node.
+        node_parent: Parent node id (``-1`` terminates the chain).
+        cells: Cumulative candidate states processed (the vectorized
+            analogue of DP cells — what the allocation guard meters).
+    """
+
+    __slots__ = ("costs", "values", "nodes", "node_item", "node_parent", "cells")
+
+    def __init__(
+        self,
+        costs: np.ndarray,
+        values: np.ndarray,
+        nodes: np.ndarray,
+        node_item: np.ndarray,
+        node_parent: np.ndarray,
+        cells: int,
+    ):
+        self.costs = costs
+        self.values = values
+        self.nodes = nodes
+        self.node_item = node_item
+        self.node_parent = node_parent
+        self.cells = cells
+
+    def copy(self) -> "FrontierState":
+        """Deep copy for prefix snapshots: resuming from a copy replays the
+        same state ids and node ids as an uninterrupted run."""
+        return FrontierState(
+            self.costs.copy(),
+            self.values.copy(),
+            self.nodes.copy(),
+            self.node_item.copy(),
+            self.node_parent.copy(),
+            self.cells,
+        )
+
+    @property
+    def size_cells(self) -> int:
+        """Current live allocation in array elements (states + nodes)."""
+        return 3 * len(self.costs) + 2 * len(self.node_item)
+
+
+def frontier_init() -> FrontierState:
+    """The empty-set frontier: one state at cost 0, value 0, no items."""
+    return FrontierState(
+        costs=np.zeros(1, dtype=np.int64),
+        values=np.zeros(1),
+        nodes=np.full(1, -1, dtype=np.int64),
+        node_item=np.empty(0, dtype=np.int64),
+        node_parent=np.empty(0, dtype=np.int64),
+        cells=1,
+    )
+
+
+def frontier_rows(
+    state: FrontierState,
+    int_costs: np.ndarray,
+    contributions: np.ndarray,
+    start: int,
+    stop: int,
+    max_cells: int | None = None,
+    counters=None,
+) -> None:
+    """Apply item layers ``[start, stop)`` to the frontier in place.
+
+    Mirrors :func:`repro.core.fptas._dp_rows`'s role for the dense solver:
+    exposing the layer loop lets the single-task pricer resume from a
+    snapshot taken after a shared prefix of layers.
+
+    Args:
+        max_cells: When set, raise :class:`ValidationError` once the
+            cumulative processed states exceed it (the vectorized
+            ``MAX_DP_CELLS`` guard — metered on actual allocation, not the
+            dense ``n·(c_max+1)`` worst case).
+        counters: Optional duck-typed perf counters; accumulates
+            ``fptas_dp_cells`` (candidates processed — comparable across
+            kernels as "DP work done") and ``fptas_frontier_states``
+            (surviving states, the vectorized kernel's footprint).
+    """
+    for j in range(start, stop):
+        c_j = int(int_costs[j])
+        q_j = float(contributions[j])
+
+        old_n = len(state.costs)
+        cand_costs = np.concatenate([state.costs, state.costs + c_j])
+        cand_values = np.concatenate([state.values, state.values + q_j])
+        # Old survivors keep their node; new survivors need their *parent's*
+        # node to mint a fresh (item, parent) entry.
+        cand_link = np.concatenate([state.nodes, state.nodes])
+        is_new = np.zeros(2 * old_n, dtype=bool)
+        is_new[old_n:] = True
+
+        state.cells += len(cand_costs)
+        if counters is not None:
+            counters.fptas_dp_cells += len(cand_costs)
+        if max_cells is not None and state.cells > max_cells:
+            raise ValidationError(
+                f"FPTAS frontier kernel processed {state.cells} states "
+                f"(layer {j + 1} of {len(int_costs)}), exceeding "
+                f"MAX_DP_CELLS={max_cells}; increase epsilon or shrink the "
+                f"cost spread"
+            )
+
+        # Order by (cost asc, value desc, old-before-new): the first entry
+        # of each cost group is the best value, with the no-take branch
+        # winning exact value ties — the dense DP's strict-greater rule.
+        # Both halves are strictly cost-ascending (frontier invariant), so
+        # instead of a 3-key lexsort the halves are merged explicitly: a
+        # cost collides at most once across halves, giving tie groups of
+        # size ≤ 2 that start old-before-new and need a swap only when the
+        # take-branch value is strictly greater.
+        a_costs = state.costs
+        b_costs = cand_costs[old_n:]
+        idx = np.arange(old_n, dtype=np.int64)
+        order = np.empty(2 * old_n, dtype=np.int64)
+        order[idx + np.searchsorted(b_costs, a_costs, side="left")] = idx
+        order[idx + np.searchsorted(a_costs, b_costs, side="right")] = old_n + idx
+        s_values = cand_values[order]
+        s_costs = cand_costs[order]
+        tie = np.flatnonzero(s_costs[1:] == s_costs[:-1])
+        if tie.size:
+            swap = tie[s_values[tie] < s_values[tie + 1]]
+            if swap.size:
+                tmp = order[swap].copy()
+                order[swap] = order[swap + 1]
+                order[swap + 1] = tmp
+                s_values = cand_values[order]
+
+        first_of_cost = np.empty(len(order), dtype=bool)
+        first_of_cost[0] = True
+        np.not_equal(s_costs[1:], s_costs[:-1], out=first_of_cost[1:])
+        d_idx = order[first_of_cost]
+        d_costs = s_costs[first_of_cost]
+        d_values = s_values[first_of_cost]
+
+        # Pareto prune: keep states whose value strictly exceeds every
+        # cheaper state's (running cummax of the deduped values).
+        keep = np.empty(len(d_costs), dtype=bool)
+        keep[0] = True
+        if len(d_costs) > 1:
+            np.greater(d_values[1:], np.maximum.accumulate(d_values)[:-1], out=keep[1:])
+        kept = d_idx[keep]
+
+        state.costs = cand_costs[kept]
+        state.values = cand_values[kept]
+        kept_new = is_new[kept]
+        nodes = cand_link[kept]
+        n_new = int(kept_new.sum())
+        if n_new:
+            base = len(state.node_item)
+            state.node_item = np.concatenate(
+                [state.node_item, np.full(n_new, j, dtype=np.int64)]
+            )
+            state.node_parent = np.concatenate([state.node_parent, nodes[kept_new]])
+            nodes = nodes.copy()
+            nodes[kept_new] = base + np.arange(n_new, dtype=np.int64)
+        state.nodes = nodes
+        if counters is not None:
+            counters.fptas_frontier_states += len(state.costs)
+
+
+def frontier_answer(
+    state: FrontierState, requirement: float, eps: float
+) -> tuple[frozenset[int], int] | None:
+    """The cheapest frontier state meeting ``requirement`` and its item set.
+
+    Returns ``(item indices, scaled cost)`` or ``None`` when infeasible —
+    the same contract (and the same ``value >= requirement − eps``
+    comparison) as the dense solver's feasibility scan, whose first
+    feasible cost is always a frontier state.
+    """
+    i = int(np.searchsorted(state.values, requirement - eps, side="left"))
+    if i >= len(state.values):
+        return None
+    items: list[int] = []
+    node = int(state.nodes[i])
+    while node >= 0:
+        items.append(int(state.node_item[node]))
+        node = int(state.node_parent[node])
+    return frozenset(items), int(state.costs[i])

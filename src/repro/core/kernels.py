@@ -1,0 +1,84 @@
+"""Kernel selection for the mechanism hot loops.
+
+Both winner-determination algorithms ship two interchangeable compute
+kernels with bit-identical outputs:
+
+* ``"vectorized"`` (default) — sparse array kernels sized for ``n = 10^5``
+  and beyond: the greedy runs on a CSR contribution matrix with
+  incremental gain maintenance (:mod:`repro.core.contrib_matrix`), the
+  FPTAS dynamic program on a Pareto-frontier array kernel
+  (:mod:`repro.core.frontier_kernel`).
+* ``"reference"`` — the previous dense implementations (full-rescan
+  greedy over an ``n × t`` matrix, dense cost-indexed DP tables), kept as
+  the parity oracle and for the scaling benchmark's baseline.
+
+The switch is resolved per call site, in priority order: an explicit
+``kernel=`` argument, a process-wide default installed with
+:func:`set_default_kernel` (the CLI's ``--kernel`` flag), the
+``REPRO_KERNEL`` environment variable (which propagates into worker
+processes spawned by the parallel experiment runner), then
+:data:`DEFAULT_KERNEL`.  Parity between the two kernels is enforced the
+same way ``pricing="fast"`` was gated in PR 1: the property-test matrix in
+``tests/perf/test_kernels_parity.py`` asserts bit-identical allocations,
+traces, and rewards.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .errors import ValidationError
+
+__all__ = [
+    "KERNELS",
+    "DEFAULT_KERNEL",
+    "ENV_KERNEL",
+    "resolve_kernel",
+    "set_default_kernel",
+]
+
+#: The recognised kernel names.
+KERNELS = ("vectorized", "reference")
+
+#: Used when neither an argument, a process default, nor the environment
+#: picks a kernel.
+DEFAULT_KERNEL = "vectorized"
+
+#: Environment variable consulted by :func:`resolve_kernel`; exported by
+#: the CLI so experiment worker processes inherit the choice.
+ENV_KERNEL = "REPRO_KERNEL"
+
+_process_default: str | None = None
+
+
+def _validate(kernel: str, source: str) -> str:
+    if kernel not in KERNELS:
+        raise ValidationError(
+            f"unknown kernel {kernel!r} from {source}; expected one of {KERNELS}"
+        )
+    return kernel
+
+
+def set_default_kernel(kernel: str | None) -> None:
+    """Install (or with ``None`` clear) the process-wide kernel default."""
+    global _process_default
+    _process_default = None if kernel is None else _validate(kernel, "set_default_kernel")
+
+
+def resolve_kernel(kernel: str | None = None) -> str:
+    """The kernel a call site should use.
+
+    Priority: explicit argument > :func:`set_default_kernel` >
+    ``REPRO_KERNEL`` environment variable > :data:`DEFAULT_KERNEL`.
+    Raises :class:`ValidationError` on an unrecognised name, naming the
+    source so a typo in the environment is distinguishable from one in
+    code.
+    """
+    if kernel is not None:
+        return _validate(kernel, "argument")
+    if _process_default is not None:
+        return _process_default
+    env = os.environ.get(ENV_KERNEL)
+    if env:
+        return _validate(env, f"environment variable {ENV_KERNEL}")
+    return DEFAULT_KERNEL

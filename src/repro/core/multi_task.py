@@ -25,6 +25,7 @@ from typing import Any
 from .critical import critical_contribution_multi
 from .errors import ValidationError
 from .greedy import GreedyTrace, greedy_allocation
+from .kernels import resolve_kernel
 from .obshooks import emit as _emit
 from .obshooks import span as _span
 from .rewards import ECReward, ec_reward
@@ -82,6 +83,11 @@ class MultiTaskMechanism:
             counterfactual replay, bit-identical critical bids;
             ``"reference"`` keeps the literal per-winner
             :func:`critical_contribution_multi` reruns.
+        kernel: Compute kernel for the greedy inner loops —
+            ``"vectorized"`` (CSR matrix, incremental gains) or
+            ``"reference"`` (dense full rescan), bit-identical outcomes;
+            ``None`` (default) defers to
+            :func:`repro.core.kernels.resolve_kernel` at construction time.
 
     Example:
         >>> from repro.core.types import AuctionInstance, Task, UserType
@@ -103,6 +109,7 @@ class MultiTaskMechanism:
         alpha: float = 10.0,
         critical_method: str = "threshold",
         pricing: str = "fast",
+        kernel: str | None = None,
     ):
         if alpha <= 0:
             raise ValidationError(f"alpha must be positive, got {alpha!r}")
@@ -113,10 +120,11 @@ class MultiTaskMechanism:
         self.alpha = alpha
         self.critical_method = critical_method
         self.pricing = pricing
+        self.kernel = resolve_kernel(kernel)
 
     def determine_winners(self, instance: AuctionInstance) -> GreedyTrace:
         """Run only the winner-determination stage (Algorithm 4)."""
-        return greedy_allocation(instance)
+        return greedy_allocation(instance, kernel=self.kernel)
 
     def run(
         self,
@@ -148,6 +156,7 @@ class MultiTaskMechanism:
             n_tasks=len(instance.tasks),
             pricing=self.pricing,
             critical_method=self.critical_method,
+            kernel=self.kernel,
         ):
             if self.pricing == "fast" and compute_rewards:
                 from repro.perf.batch_pricer import BatchPricer
@@ -160,6 +169,7 @@ class MultiTaskMechanism:
                         method=self.critical_method,
                         counters=counters,
                         tracer=tracer,
+                        kernel=self.kernel,
                     )
                 trace = pricer.trace
                 with counters.stage("reward_determination"), _span(
@@ -172,14 +182,20 @@ class MultiTaskMechanism:
                 with counters.stage("winner_determination"), _span(
                     tracer, "winner_determination", algorithm="greedy"
                 ):
-                    trace = greedy_allocation(instance, counters=counters, tracer=tracer)
+                    trace = greedy_allocation(
+                        instance, counters=counters, tracer=tracer, kernel=self.kernel
+                    )
                 if compute_rewards:
                     with counters.stage("reward_determination"), _span(
                         tracer, "reward_determination", n_winners=len(trace.selected)
                     ):
                         for uid in trace.selected:
                             q_bar = critical_contribution_multi(
-                                instance, uid, method=self.critical_method, tracer=tracer
+                                instance,
+                                uid,
+                                method=self.critical_method,
+                                tracer=tracer,
+                                kernel=self.kernel,
                             )
                             cost = instance.user_by_id(uid).cost
                             rewards[uid] = ec_reward(uid, q_bar, cost, self.alpha)
@@ -195,7 +211,7 @@ class MultiTaskMechanism:
                     success_reward=reward.success_reward,
                     failure_reward=reward.failure_reward,
                 )
-            _emit(tracer, "mechanism.perf", **counters.to_dict())
+            _emit(tracer, "mechanism.perf", kernel=self.kernel, **counters.to_dict())
 
         winners = trace.selected_set
         # One pass over the winners' bundles instead of scanning every user

@@ -48,6 +48,7 @@ class RunReport:
     stage_seconds: dict[str, float] = field(default_factory=dict)
     stage_counts: dict[str, int] = field(default_factory=dict)
     perf_totals: dict[str, float] = field(default_factory=dict)
+    perf_labels: dict[str, list[str]] = field(default_factory=dict)
     reuse_fractions: dict[str, float] = field(default_factory=dict)
     experiments: list[dict] = field(default_factory=list)
     audit: AuditTrail = field(default_factory=AuditTrail)
@@ -60,6 +61,7 @@ class RunReport:
             "stage_seconds": self.stage_seconds,
             "stage_counts": self.stage_counts,
             "perf_totals": self.perf_totals,
+            "perf_labels": self.perf_labels,
             "reuse_fractions": self.reuse_fractions,
             "experiments": self.experiments,
             "audited_users": self.audit.audited_users,
@@ -96,6 +98,12 @@ def build_report(run_dir: str | Path) -> RunReport:
                         perf[stage_key] = perf.get(stage_key, 0.0) + seconds
                 elif isinstance(value, (int, float)):
                     perf[key] = perf.get(key, 0.0) + value
+                elif isinstance(value, str):
+                    # Label fields (e.g. which kernel produced the run):
+                    # collect distinct values instead of summing.
+                    seen = report.perf_labels.setdefault(key, [])
+                    if value not in seen:
+                        seen.append(value)
         elif kind == "event" and rec.get("name") == "experiment.end":
             report.experiments.append(
                 {
@@ -149,6 +157,11 @@ def format_report(report: RunReport, explain_limit: int = 8) -> str:
         ):
             count = report.stage_counts.get(name, 0)
             lines.append(f"  {name:<28} {seconds:>10.4f}s  over {count} span(s)")
+
+    if report.perf_labels:
+        lines.append("\nperf labels (from mechanism.perf events):")
+        for key, values in sorted(report.perf_labels.items()):
+            lines.append(f"  {key:<28} {', '.join(values)}")
 
     if report.reuse_fractions:
         lines.append("\nreuse fractions (from merged perf counters):")

@@ -40,11 +40,13 @@ full reruns, including on hypothesis-generated adversarial instances.
 
 from __future__ import annotations
 
+import bisect
 import heapq
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from repro.core.contrib_matrix import ContributionMatrix
 from repro.core.critical import price_from_iterations
 from repro.core.errors import InfeasibleInstanceError, ValidationError
 from repro.core.greedy import (
@@ -53,6 +55,7 @@ from repro.core.greedy import (
     positive_residual_snapshot,
     select_best_row,
 )
+from repro.core.kernels import resolve_kernel
 from repro.core.obshooks import emit as _emit
 from repro.core.obshooks import span as _span
 from repro.core.types import AuctionInstance
@@ -117,6 +120,14 @@ class BatchPricer:
             resulting critical bid).  Replay-internal iterations are *not*
             traced per-decision — they are summarised by the event — so
             audit mode stays usable at benchmark sizes.
+        kernel: ``"vectorized"`` runs the master greedy on the CSR
+            contribution matrix with incremental gain maintenance, keeps
+            only O(t) residual snapshots per iteration (no per-iteration
+            row/ratio copies), and seeds replays from a bounded set of
+            checkpointed ratio-bound heaps; ``"reference"`` keeps the
+            dense matrix and snapshot
+            layout.  Traces and prices are bit-identical either way;
+            ``None`` defers to :func:`repro.core.kernels.resolve_kernel`.
     """
 
     def __init__(
@@ -126,6 +137,7 @@ class BatchPricer:
         counters: PerfCounters | None = None,
         require_feasible: bool = True,
         tracer=None,
+        kernel: str | None = None,
     ):
         if method not in ("threshold", "paper"):
             raise ValidationError(f"unknown critical-bid method {method!r}")
@@ -133,6 +145,7 @@ class BatchPricer:
         self.method = method
         self.counters = counters if counters is not None else PerfCounters()
         self.tracer = tracer
+        self.kernel = resolve_kernel(kernel)
 
         # Shared arrays, built once — mirrors greedy_allocation's layout.
         self._task_ids = [t.task_id for t in instance.tasks]
@@ -140,10 +153,13 @@ class BatchPricer:
         self._task_index = task_index
         users = sorted(instance.users, key=lambda u: u.user_id)
         n = len(users)
-        self._contrib = np.zeros((n, len(self._task_ids)))
-        for row, user in enumerate(users):
-            for tid in user.pos:
-                self._contrib[row, task_index[tid]] = user.contribution(tid)
+        if self.kernel == "vectorized":
+            self._matrix = ContributionMatrix(users, task_index, len(self._task_ids))
+        else:
+            self._contrib = np.zeros((n, len(self._task_ids)))
+            for row, user in enumerate(users):
+                for tid in user.pos:
+                    self._contrib[row, task_index[tid]] = user.contribution(tid)
         self._costs = np.array([u.cost for u in users])
         self._uids = [u.user_id for u in users]
         self._row_of = {u.user_id: row for row, u in enumerate(users)}
@@ -151,7 +167,10 @@ class BatchPricer:
             [t.contribution_requirement for t in instance.tasks]
         )
 
-        self._run_master(require_feasible)
+        if self.kernel == "vectorized":
+            self._run_master_vectorized(require_feasible)
+        else:
+            self._run_master(require_feasible)
 
     # ------------------------------------------------------------------ #
     # Master run (Algorithm 4) with per-iteration snapshots
@@ -215,6 +234,129 @@ class BatchPricer:
             selected_rows.append(best_row)
             rows = np.delete(rows, local)
             residual = np.maximum(0.0, residual - self._contrib[best_row])
+
+        self._selected_rows = selected_rows
+        self._position = {self._uids[row]: m for m, row in enumerate(selected_rows)}
+        self._snapshots = snapshots
+        self.trace = GreedyTrace(
+            selected=tuple(self._uids[row] for row in selected_rows),
+            iterations=tuple(iterations),
+            residual_after={
+                tid: float(residual[k]) for k, tid in enumerate(self._task_ids)
+            },
+            satisfied=bool((residual <= _EPS).all()),
+        )
+
+    def _run_master_vectorized(self, require_feasible: bool) -> None:
+        """The ``kernel="vectorized"`` master: incremental CSR greedy.
+
+        Gains live in full-length arrays with selected rows zeroed (a zero
+        gain is below the ``select_best_row`` eligibility floor, so it can
+        never be re-picked); after each selection only the rows sharing a
+        still-open task with the winner are recomputed, through the same
+        full-width reduction the dense master uses — bit-identical trace.
+        Snapshots keep only the O(t) residual vector per iteration; replays
+        seed their upper bounds from the checkpointed ratio heaps below,
+        which stay valid at any later iteration because capped gains only
+        shrink.
+        """
+        n = len(self._uids)
+        matrix = self._matrix
+        costs = self._costs
+        residual = self._initial_residual.copy()
+        active = np.ones(n, dtype=bool)
+        gains = matrix.gains(np.arange(n, dtype=np.int64), residual) if n else np.empty(0)
+        ratios = gains / costs if n else np.empty(0)
+        self.counters.greedy_rows_recomputed += n
+        # Heapified (-ratio, row) bound templates, checkpointed every
+        # ``stride`` master iterations (stride doubles past _MAX_CKPTS, so
+        # at most ~2·_MAX_CKPTS templates ever exist).  Each replay copies
+        # the latest template at or before its start (an O(n) pointer
+        # memcpy) instead of rebuilding n tuples per winner, and gets
+        # bounds at most ``stride`` iterations stale — loose seeds are
+        # *correct* (capped gains only shrink) but cost pop-and-recompute
+        # rounds, so freshness is pure speed.
+        self._ckpt_starts: list[int] = []
+        self._ckpt_heaps: list[list] = []
+        ckpt_stride = 32
+        selected_rows: list[int] = []
+        iterations: list[GreedyIteration] = []
+        snapshots: list[np.ndarray] = []
+        _MAX_CKPTS = 16
+
+        def _checkpoint(it: int) -> None:
+            template = list(zip((-ratios).tolist(), range(n)))
+            heapq.heapify(template)
+            self._ckpt_starts.append(it)
+            self._ckpt_heaps.append(template)
+
+        _checkpoint(0)
+        while (residual > _EPS).any():
+            it = len(selected_rows)
+            if it and it % ckpt_stride == 0:
+                _checkpoint(it)
+                if len(self._ckpt_starts) > _MAX_CKPTS:
+                    ckpt_stride *= 2
+                    keep = [
+                        k
+                        for k, start in enumerate(self._ckpt_starts)
+                        if start % ckpt_stride == 0
+                    ]
+                    self._ckpt_starts = [self._ckpt_starts[k] for k in keep]
+                    self._ckpt_heaps = [self._ckpt_heaps[k] for k in keep]
+            self.counters.greedy_iterations += 1
+            best_row = select_best_row(gains, ratios)
+            if best_row < 0:
+                if require_feasible:
+                    uncovered = frozenset(
+                        tid
+                        for k, tid in enumerate(self._task_ids)
+                        if residual[k] > _EPS
+                    )
+                    raise InfeasibleInstanceError(
+                        f"tasks {sorted(uncovered)} cannot reach their requirements",
+                        uncoverable_tasks=uncovered,
+                    )
+                break
+            snapshots.append(residual.copy())
+            snapshot = positive_residual_snapshot(residual, self._task_ids)
+            iterations.append(
+                GreedyIteration(
+                    user_id=self._uids[best_row],
+                    residual_before=snapshot,
+                    gain=float(gains[best_row]),
+                    ratio=float(ratios[best_row]),
+                    cost=float(costs[best_row]),
+                )
+            )
+            if self.tracer is not None:
+                self.tracer.event(
+                    "greedy.select",
+                    user_id=self._uids[best_row],
+                    iteration=len(selected_rows),
+                    gain=float(gains[best_row]),
+                    ratio=float(ratios[best_row]),
+                    cost=float(costs[best_row]),
+                    residual_open=len(snapshot),
+                    residual_total=float(sum(snapshot.values())),
+                )
+            selected_rows.append(best_row)
+            active[best_row] = False
+            gains[best_row] = 0.0
+            ratios[best_row] = 0.0
+
+            winner_cols = matrix.row_cols(best_row)
+            changed = winner_cols[residual[winner_cols] > 0.0]
+            winner_row = matrix.dense_row(best_row)
+            residual = np.maximum(0.0, residual - winner_row)
+            matrix._clear_row_buf(best_row)
+
+            affected = matrix.rows_touching(changed)
+            affected = affected[active[affected]]
+            if affected.size:
+                gains[affected] = matrix.gains(affected, residual)
+                ratios[affected] = gains[affected] / costs[affected]
+                self.counters.greedy_rows_recomputed += int(affected.size)
 
         self._selected_rows = selected_rows
         self._position = {self._uids[row]: m for m, row in enumerate(selected_rows)}
@@ -322,6 +464,108 @@ class BatchPricer:
         counters.greedy_iterations += executed
         return tuple(iterations), bool((residual <= _EPS).all())
 
+    def _replay_without_vectorized(
+        self, start: int, excluded_row: int, counters: PerfCounters
+    ) -> tuple[tuple[GreedyIteration, ...], bool]:
+        """Vectorized replay: same lazy-greedy loop on the CSR matrix.
+
+        The heap is seeded from the latest *checkpointed* master ratios at
+        or before ``start`` rather than the snapshot-time ones (the
+        vectorized master does not keep per-iteration ratio copies).  Any
+        earlier ratio is a valid upper bound — capped gains are monotone
+        non-increasing — and the selection certificate (fresh ratio beats
+        the next bound by more than ``ε``) identifies the unique ε-margin
+        argmax regardless of how loose the bounds are, so the replayed
+        iterations stay bit-identical; staler seeds only cost extra
+        pop-and-recompute rounds.
+
+        The heap starts as a copy of the checkpoint's pre-heapified
+        template over *all* rows; rows dead at this snapshot (the selected
+        prefix and the excluded user) are dropped when popped.  A dead row
+        sitting at the heap top can only inflate ``next_bound``, which
+        makes the certificate *more* conservative — never a wrong
+        selection.
+        """
+        residual = self._snapshots[start].copy()
+        matrix = self._matrix
+        costs = self._costs
+        n = len(self._uids)
+        alive = np.ones(n, dtype=bool)
+        alive[self._selected_rows[:start]] = False
+        alive[excluded_row] = False
+        ckpt = bisect.bisect_right(self._ckpt_starts, start) - 1
+        heap = self._ckpt_heaps[ckpt].copy()
+        # A row's recomputed gain stays the *exact* reference float until a
+        # selection touches one of its still-open tasks (untouched residual
+        # entries ⇒ an identical full-width reduction), so cache it and
+        # only invalidate the rows_touching set after each selection.
+        # Without this, every near-tied contender row would be recomputed
+        # every iteration.
+        clean = np.zeros(n, dtype=bool)
+        cached_gain = np.empty(n)
+        iterations: list[GreedyIteration] = []
+        executed = 0
+        fallback = object()
+
+        while residual.max() > _EPS:
+            executed += 1
+            sel: object = None
+            while heap:
+                neg_bound, row = heapq.heappop(heap)
+                if not alive[row]:
+                    continue
+                if not clean[row]:
+                    cached_gain[row] = matrix.row_gain(row, residual)
+                    clean[row] = True
+                    counters.greedy_rows_recomputed += 1
+                gain = cached_gain[row]
+                if gain <= _EPS:
+                    continue  # gains only shrink: permanently ineligible
+                ratio = gain / costs[row]
+                next_bound = -heap[0][0] if heap else -np.inf
+                if ratio > next_bound + _EPS:
+                    sel = (row, gain, ratio)
+                    break
+                if ratio >= next_bound:
+                    # Fresh top within ε of the next bound: possible ε-tie.
+                    heapq.heappush(heap, (-ratio, row))
+                    sel = fallback
+                    break
+                heapq.heappush(heap, (-ratio, row))  # tightened bound
+            if sel is fallback:
+                # Reference scan over all live rows (ascending user id).
+                live = np.flatnonzero(alive)
+                gains = matrix.gains(live, residual)
+                ratios = gains / costs[live]
+                counters.greedy_rows_recomputed += int(live.size)
+                local = select_best_row(gains, ratios)
+                if local < 0:
+                    break
+                sel = (int(live[local]), gains[local], ratios[local])
+            elif sel is None:
+                break  # heap exhausted: no row offers positive gain
+            row, gain, ratio = sel
+            iterations.append(
+                GreedyIteration(
+                    user_id=self._uids[row],
+                    residual_before=_ResidualView(residual.copy(), self._task_index),
+                    gain=float(gain),
+                    ratio=float(ratio),
+                    cost=float(costs[row]),
+                )
+            )
+            alive[row] = False
+            winner_cols = matrix.row_cols(row)
+            changed = winner_cols[residual[winner_cols] > 0.0]
+            winner_row = matrix.dense_row(row)
+            residual = np.maximum(0.0, residual - winner_row)
+            matrix._clear_row_buf(row)
+            if changed.size:
+                clean[matrix.rows_touching(changed)] = False
+
+        counters.greedy_iterations += executed
+        return tuple(iterations), bool((residual <= _EPS).all())
+
     # ------------------------------------------------------------------ #
     # Pricing
     # ------------------------------------------------------------------ #
@@ -338,9 +582,12 @@ class BatchPricer:
         with _span(self.tracer, "counterfactual", user_id=user_id):
             if user_id in self._position:
                 start = self._position[user_id]
-                suffix, satisfied = self._replay_without(
-                    start, self._row_of[user_id], counters
+                replay = (
+                    self._replay_without_vectorized
+                    if self.kernel == "vectorized"
+                    else self._replay_without
                 )
+                suffix, satisfied = replay(start, self._row_of[user_id], counters)
                 iterations = self.trace.iterations[:start] + suffix
                 counters.greedy_prefix_iterations_reused += start
                 prefix_reused, suffix_len = start, len(suffix)

@@ -45,6 +45,12 @@ class PerfCounters:
         wins_evaluations: ``wins(q)`` probes asked by critical-bid searches.
         wins_cache_hits: Probes answered from the monotone verdict memo or
             the original-allocation cache instead of a fresh FPTAS run.
+        greedy_rows_recomputed: Rows whose capped gain the vectorized greedy
+            actually recomputed (the incremental kernel's work metric; the
+            dense kernel rescans ``n`` rows per iteration).
+        fptas_frontier_states: Surviving Pareto-frontier states summed over
+            layers (the vectorized DP's footprint; compare against
+            ``fptas_dp_cells`` to see the pruning ratio).
         stage_seconds: Wall-clock per named stage (e.g.
             ``winner_determination``, ``reward_determination``).
     """
@@ -58,6 +64,8 @@ class PerfCounters:
     fptas_dp_cells_reused: int = 0
     wins_evaluations: int = 0
     wins_cache_hits: int = 0
+    greedy_rows_recomputed: int = 0
+    fptas_frontier_states: int = 0
     stage_seconds: dict[str, float] = field(default_factory=dict)
 
     @contextmanager

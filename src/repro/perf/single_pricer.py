@@ -41,11 +41,19 @@ from repro.core.critical import DEFAULT_TOLERANCE
 from repro.core.errors import CriticalBidError, ValidationError
 from repro.core.fptas import (
     DEFAULT_EPSILON,
+    MAX_DP_CELLS,
     _EPS,
     _check_dp_cells,
     _dp_rows,
     _reconstruct,
 )
+from repro.core.frontier_kernel import (
+    FrontierState,
+    frontier_answer,
+    frontier_init,
+    frontier_rows,
+)
+from repro.core.kernels import resolve_kernel
 from repro.core.types import SingleTaskInstance
 
 from .instrumentation import PerfCounters
@@ -72,6 +80,12 @@ class SingleTaskPricer:
             set, every ``wins(q)`` probe is recorded as a ``critical.probe``
             audit event (with ``cached=True`` when the monotone memo
             answered it without an FPTAS run).
+        kernel: ``"vectorized"`` runs every subproblem on the
+            Pareto-frontier array kernel (prefix snapshots become
+            :class:`repro.core.frontier_kernel.FrontierState` copies);
+            ``"reference"`` keeps the dense cost-indexed DP.  Bit-identical
+            probes either way; ``None`` defers to
+            :func:`repro.core.kernels.resolve_kernel`.
 
     Unlike the reference function this pricer always prices against the
     FPTAS (no ``allocator`` override); use the reference for custom
@@ -86,6 +100,7 @@ class SingleTaskPricer:
         counters: PerfCounters | None = None,
         snapshot_cells: int = DEFAULT_SNAPSHOT_CELLS,
         tracer=None,
+        kernel: str | None = None,
     ):
         if epsilon <= 0 or not math.isfinite(epsilon):
             raise ValidationError(f"epsilon must be positive and finite, got {epsilon!r}")
@@ -94,6 +109,7 @@ class SingleTaskPricer:
         self.tolerance = tolerance
         self.counters = counters if counters is not None else PerfCounters()
         self.tracer = tracer
+        self.kernel = resolve_kernel(kernel)
 
         n = instance.n_users
         self._n = n
@@ -110,12 +126,15 @@ class SingleTaskPricer:
         # Global caches (valid for every probe and every priced user).
         self._scaled_cache: dict[int, tuple[np.ndarray, int]] = {}
         self._static_cache: dict[int, tuple[frozenset[int], int] | None] = {}
+        self._static_cells: dict[int, int] = {}
         self._original_selected: frozenset[int] | None = None
 
-        # Per-priced-user prefix state.
+        # Per-priced-user prefix state.  Snapshots are (value row, decision
+        # bits) pairs under the reference kernel, FrontierState copies under
+        # the vectorized one.
         self._snapshot_budget = snapshot_cells
         self._prefix_user: int | None = None
-        self._prefix: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._prefix: dict[int, tuple[np.ndarray, np.ndarray] | FrontierState] = {}
         self._prefix_cells = 0
         self._win_bound = math.inf
         self._loss_bound = -math.inf
@@ -137,18 +156,21 @@ class SingleTaskPricer:
     def _solve_static(self, k: int) -> tuple[frozenset[int], int] | None:
         """Subproblem ``k`` over the original contributions (cached forever)."""
         if k in self._static_cache:
-            ints, c_max = self._scaled(k)
             self.counters.fptas_subproblems_cached += 1
-            self.counters.fptas_dp_cells_reused += k * (c_max + 1)
+            self.counters.fptas_dp_cells_reused += self._static_cells[k]
             return self._static_cache[k]
+        before = self.counters.fptas_dp_cells
         solved = self._solve_fresh(k, self._base_contribs, 0)
         self._static_cache[k] = solved
+        self._static_cells[k] = self.counters.fptas_dp_cells - before
         return solved
 
     def _solve_fresh(
         self, k: int, contribs: np.ndarray, rank: int
     ) -> tuple[frozenset[int], int] | None:
         """Run subproblem ``k`` in full, snapshotting the prefix if it fits."""
+        if self.kernel == "vectorized":
+            return self._solve_fresh_frontier(k, contribs, rank)
         ints, c_max = self._scaled(k)
         _check_dp_cells(k, c_max)
         self.counters.fptas_subproblems += 1
@@ -166,6 +188,33 @@ class SingleTaskPricer:
             _dp_rows(best, take, ints, contribs, 0, k, counters=self.counters)
         return self._finish(k, ints, best, take)
 
+    def _solve_fresh_frontier(
+        self, k: int, contribs: np.ndarray, rank: int
+    ) -> tuple[frozenset[int], int] | None:
+        """Vectorized ``_solve_fresh``: frontier arrays, FrontierState snapshot."""
+        ints, _c_max = self._scaled(k)
+        self.counters.fptas_subproblems += 1
+        state = frontier_init()
+        if 0 < rank < k:
+            frontier_rows(
+                state, ints, contribs, 0, rank,
+                max_cells=MAX_DP_CELLS, counters=self.counters,
+            )
+            cells = state.size_cells
+            if self._prefix_cells + cells <= self._snapshot_budget:
+                self._prefix[k] = state.copy()
+                self._prefix_cells += cells
+            frontier_rows(
+                state, ints, contribs, rank, k,
+                max_cells=MAX_DP_CELLS, counters=self.counters,
+            )
+        else:
+            frontier_rows(
+                state, ints, contribs, 0, k,
+                max_cells=MAX_DP_CELLS, counters=self.counters,
+            )
+        return frontier_answer(state, self.instance.requirement, _EPS)
+
     def _solve_dynamic(
         self, k: int, contribs: np.ndarray, rank: int
     ) -> tuple[frozenset[int], int] | None:
@@ -175,6 +224,14 @@ class SingleTaskPricer:
             return self._solve_fresh(k, contribs, rank)
         ints, c_max = self._scaled(k)
         self.counters.fptas_subproblems += 1
+        if self.kernel == "vectorized":
+            resumed = state.copy()
+            self.counters.fptas_dp_cells_reused += resumed.cells
+            frontier_rows(
+                resumed, ints, contribs, rank, k,
+                max_cells=MAX_DP_CELLS, counters=self.counters,
+            )
+            return frontier_answer(resumed, self.instance.requirement, _EPS)
         prefix_best, take = state
         best = prefix_best.copy()
         self.counters.fptas_dp_cells_reused += rank * (c_max + 1)
@@ -330,6 +387,7 @@ def critical_contribution_single_fast(
     epsilon: float = DEFAULT_EPSILON,
     tolerance: float = DEFAULT_TOLERANCE,
     counters: PerfCounters | None = None,
+    kernel: str | None = None,
 ) -> float:
     """One-shot convenience wrapper around :class:`SingleTaskPricer`.
 
@@ -338,5 +396,5 @@ def critical_contribution_single_fast(
     subproblem and original-allocation caches then carry across winners.
     """
     return SingleTaskPricer(
-        instance, epsilon=epsilon, tolerance=tolerance, counters=counters
+        instance, epsilon=epsilon, tolerance=tolerance, counters=counters, kernel=kernel
     ).critical(user_id)

@@ -1,0 +1,118 @@
+"""Pareto-frontier FPTAS kernel: dense-DP parity, snapshots, and the guard.
+
+The frontier kernel's oracle is the dense integer DP
+(:func:`repro.core.fptas._min_knapsack_scaled`): identical chosen sets and
+scaled costs on every instance both can solve.  Its extra obligations are
+exact snapshot-resume (the single-task pricer forks replays from prefix
+copies) and an allocation guard metered on *actual* frontier growth rather
+than the dense ``n·(c_max+1)`` worst case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.core.fptas import _min_knapsack_frontier, _min_knapsack_scaled
+from repro.core.frontier_kernel import (
+    FrontierState,
+    frontier_answer,
+    frontier_init,
+    frontier_rows,
+)
+
+
+def _random_items(rng, n, cost_hi=40):
+    int_costs = rng.integers(1, cost_hi, size=n).astype(np.int64)
+    contributions = rng.uniform(0.1, 3.0, size=n)
+    return int_costs, contributions
+
+
+def _states_equal(a: FrontierState, b: FrontierState) -> bool:
+    return (
+        np.array_equal(a.costs, b.costs)
+        and np.array_equal(a.values, b.values)
+        and np.array_equal(a.nodes, b.nodes)
+        and np.array_equal(a.node_item, b.node_item)
+        and np.array_equal(a.node_parent, b.node_parent)
+        and a.cells == b.cells
+    )
+
+
+def test_matches_dense_dp_on_random_instances(rng):
+    for trial in range(25):
+        n = int(rng.integers(2, 12))
+        int_costs, contributions = _random_items(rng, n)
+        total = float(contributions.sum())
+        for fraction in (0.25, 0.6, 0.95):
+            requirement = fraction * total
+            assert _min_knapsack_frontier(int_costs, contributions, requirement) == (
+                _min_knapsack_scaled(int_costs, contributions, requirement)
+            ), (trial, fraction)
+
+
+def test_infeasible_matches_dense_dp(rng):
+    int_costs, contributions = _random_items(rng, 5)
+    requirement = float(contributions.sum()) * 2.0
+    assert _min_knapsack_frontier(int_costs, contributions, requirement) is None
+    assert _min_knapsack_scaled(int_costs, contributions, requirement) is None
+
+
+def test_frontier_invariants_hold_after_every_layer(rng):
+    int_costs, contributions = _random_items(rng, 10)
+    state = frontier_init()
+    for j in range(len(int_costs)):
+        frontier_rows(state, int_costs, contributions, j, j + 1)
+        assert (np.diff(state.costs) > 0).all()  # costs strictly ascending
+        assert (np.diff(state.values) > 0).all()  # values strictly increasing
+        assert len(state.nodes) == len(state.costs)
+
+
+def test_snapshot_resume_replays_identical_state(rng):
+    """Resuming from a prefix copy is indistinguishable from a straight run."""
+    int_costs, contributions = _random_items(rng, 9)
+    n = len(int_costs)
+    straight = frontier_init()
+    frontier_rows(straight, int_costs, contributions, 0, n)
+    for split in (0, 3, 6, n):
+        state = frontier_init()
+        frontier_rows(state, int_costs, contributions, 0, split)
+        resumed = state.copy()
+        frontier_rows(resumed, int_costs, contributions, split, n)
+        assert _states_equal(resumed, straight), split
+        # The copy is deep: continuing the resumed run left the prefix alone.
+        assert len(state.costs) <= len(resumed.costs)
+
+
+def test_answer_walks_the_chosen_set(rng):
+    int_costs, contributions = _random_items(rng, 8)
+    state = frontier_init()
+    frontier_rows(state, int_costs, contributions, 0, len(int_costs))
+    answer = frontier_answer(state, float(contributions.sum()) * 0.5, eps=0.0)
+    assert answer is not None
+    items, scaled_cost = answer
+    assert scaled_cost == sum(int(int_costs[j]) for j in items)
+    assert sum(float(contributions[j]) for j in items) >= contributions.sum() * 0.5 - 1e-9
+
+
+def test_guard_meters_actual_allocation():
+    """A tiny ``max_cells`` trips the typed guard, naming MAX_DP_CELLS."""
+    int_costs = np.array([1, 2, 3, 4, 5], dtype=np.int64)
+    contributions = np.array([1.0, 1.1, 1.2, 1.3, 1.4])
+    state = frontier_init()
+    with pytest.raises(ValidationError, match="MAX_DP_CELLS"):
+        frontier_rows(state, int_costs, contributions, 0, 5, max_cells=4)
+
+
+def test_guard_ignores_dense_worst_case():
+    """Huge cost spread, tiny frontier: solves under a budget the dense
+    ``n·(c_max+1)`` pre-check would refuse outright."""
+    int_costs = np.array([10_000_000, 20_000_000], dtype=np.int64)
+    contributions = np.array([1.0, 2.0])
+    state = frontier_init()
+    frontier_rows(state, int_costs, contributions, 0, 2, max_cells=100)
+    assert frontier_answer(state, 2.5, eps=0.0) == (
+        frozenset({0, 1}),
+        30_000_000,
+    )

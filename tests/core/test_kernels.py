@@ -1,0 +1,86 @@
+"""Kernel selection plumbing: resolution priority and typo diagnostics.
+
+``resolve_kernel`` arbitrates explicit arguments, the process-wide default
+(the CLI's ``--kernel``), and the ``REPRO_KERNEL`` environment variable
+(how the choice survives into experiment worker processes).  A wrong name
+must fail loudly *naming its source* — a typo exported into the
+environment reads differently from one in code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.core.kernels import (
+    DEFAULT_KERNEL,
+    ENV_KERNEL,
+    KERNELS,
+    resolve_kernel,
+    set_default_kernel,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_kernel_state(monkeypatch):
+    monkeypatch.delenv(ENV_KERNEL, raising=False)
+    set_default_kernel(None)
+    yield
+    set_default_kernel(None)
+
+
+def test_default_is_vectorized():
+    assert DEFAULT_KERNEL == "vectorized"
+    assert resolve_kernel() == "vectorized"
+    assert resolve_kernel(None) == "vectorized"
+
+
+def test_explicit_argument_wins_over_everything(monkeypatch):
+    monkeypatch.setenv(ENV_KERNEL, "vectorized")
+    set_default_kernel("vectorized")
+    assert resolve_kernel("reference") == "reference"
+
+
+def test_process_default_wins_over_environment(monkeypatch):
+    monkeypatch.setenv(ENV_KERNEL, "vectorized")
+    set_default_kernel("reference")
+    assert resolve_kernel() == "reference"
+
+
+def test_environment_wins_over_builtin_default(monkeypatch):
+    monkeypatch.setenv(ENV_KERNEL, "reference")
+    assert resolve_kernel() == "reference"
+
+
+def test_empty_environment_value_falls_through(monkeypatch):
+    monkeypatch.setenv(ENV_KERNEL, "")
+    assert resolve_kernel() == DEFAULT_KERNEL
+
+
+def test_set_default_kernel_clears_with_none():
+    set_default_kernel("reference")
+    set_default_kernel(None)
+    assert resolve_kernel() == DEFAULT_KERNEL
+
+
+@pytest.mark.parametrize(
+    ("install", "source"),
+    [
+        (lambda: resolve_kernel("dense"), "argument"),
+        (lambda: set_default_kernel("dense"), "set_default_kernel"),
+    ],
+)
+def test_unknown_kernel_names_its_source(install, source):
+    with pytest.raises(ValidationError, match=source):
+        install()
+
+
+def test_unknown_environment_kernel_names_the_variable(monkeypatch):
+    monkeypatch.setenv(ENV_KERNEL, "dense")
+    with pytest.raises(ValidationError, match=ENV_KERNEL):
+        resolve_kernel()
+
+
+def test_known_kernels_resolve_to_themselves():
+    for kernel in KERNELS:
+        assert resolve_kernel(kernel) == kernel

@@ -161,6 +161,20 @@ class TestReportReconstruction:
         assert "payment explanations" in text
         assert "EC contract" in text
 
+    def test_kernel_label_reconstructed(self, run_dir):
+        report = build_report(run_dir)
+        assert report.perf_labels["kernel"] == ["vectorized"]
+        text = format_report(report)
+        assert "perf labels" in text and "vectorized" in text
+
+    def test_mixed_kernel_runs_list_both_labels(self, tmp_path):
+        with EventLog(tmp_path / "events.jsonl") as log:
+            tracer = Tracer(sink=log.append, keep_records=False)
+            for kernel in ("vectorized", "reference"):
+                MultiTaskMechanism(kernel=kernel).run(multi_instance(), tracer=tracer)
+        report = build_report(tmp_path)
+        assert report.perf_labels["kernel"] == ["vectorized", "reference"]
+
     def test_report_without_manifest_still_works(self, run_dir):
         (run_dir / "MANIFEST.json").unlink()
         report = build_report(run_dir)

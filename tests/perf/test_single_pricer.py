@@ -87,16 +87,29 @@ def _dp_bomb() -> SingleTaskInstance:
 
 
 def test_memory_guard_trips_in_fptas():
+    # The dense kernel must refuse up front on its n·(c_max+1) worst case.
     with pytest.raises(ValidationError, match="MAX_DP_CELLS"):
-        fptas_min_knapsack(_dp_bomb(), epsilon=1e-9)
+        fptas_min_knapsack(_dp_bomb(), epsilon=1e-9, kernel="reference")
     assert MAX_DP_CELLS > 0  # the guard bound is a real, positive cap
+
+
+def test_frontier_kernel_solves_what_dense_guard_refuses():
+    # The frontier kernel meters actual allocation (≤ 2^n states here), so
+    # the same hostile instance solves fine under kernel="vectorized" —
+    # exactly the guard-semantics fix the vectorized DP is meant to bring.
+    result = fptas_min_knapsack(_dp_bomb(), epsilon=1e-9, kernel="vectorized")
+    assert result.selected  # 4 cheapest users cover requirement 2.0
+    assert result.contribution >= 2.0 - 1e-9
 
 
 def test_memory_guard_trips_in_pricer():
     instance = _dp_bomb()
     # Winner determination at a sane epsilon, pricing probes at a hostile one:
-    # the pricer must refuse the oversized DP rather than allocate it.
+    # the dense pricer must refuse the oversized DP rather than allocate it,
+    # while the vectorized pricer completes on its tiny actual frontier.
     winners = sorted(fptas_min_knapsack(instance, EPSILON).selected)
-    pricer = SingleTaskPricer(instance, epsilon=1e-9)
+    pricer = SingleTaskPricer(instance, epsilon=1e-9, kernel="reference")
     with pytest.raises(ValidationError, match="MAX_DP_CELLS"):
         pricer.critical(winners[0])
+    vec = SingleTaskPricer(instance, epsilon=1e-9, kernel="vectorized")
+    assert vec.critical(winners[0]) >= 0.0

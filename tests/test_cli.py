@@ -1,8 +1,11 @@
 """Tests for the `python -m repro` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import EXPERIMENTS, build_parser, main
+from repro.core.kernels import ENV_KERNEL
 
 
 class TestParser:
@@ -50,3 +53,39 @@ class TestMain:
         output = capsys.readouterr().out
         assert "[fig4]" in output
         assert "fraction_below_0.2" in output
+
+
+class TestKernelFlag:
+    def test_parser_rejects_unknown_kernel(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig4", "--kernel", "dense"])
+
+    def test_kernel_lands_in_manifest_and_environment(self, tmp_path, monkeypatch):
+        # Seed the env var through monkeypatch so the CLI's export is undone
+        # at teardown.
+        monkeypatch.setenv(ENV_KERNEL, "vectorized")
+        out_dir = tmp_path / "run"
+        assert (
+            main(
+                ["run", "fig4", "--n-taxis", "60", "--seed", "5", "--quick",
+                 "--kernel", "reference", "--out-dir", str(out_dir)]
+            )
+            == 0
+        )
+        manifest = json.loads((out_dir / "MANIFEST.json").read_text())
+        assert manifest["config"]["kernel"] == "reference"
+        # Exported (not just set process-wide) so spawned experiment workers
+        # inherit the same kernel.
+        import os
+
+        assert os.environ[ENV_KERNEL] == "reference"
+
+    def test_resume_refuses_kernel_mismatch(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv(ENV_KERNEL, "vectorized")
+        out_dir = tmp_path / "run"
+        args = ["run", "fig4", "--n-taxis", "60", "--seed", "5", "--quick"]
+        assert main([*args, "--kernel", "reference", "--out-dir", str(out_dir)]) == 0
+        monkeypatch.setenv(ENV_KERNEL, "vectorized")  # undo the CLI's export
+        assert main([*args, "--kernel", "vectorized", "--resume", str(out_dir)]) == 2
+        err = capsys.readouterr().err
+        assert "kernel" in err and "reference" in err

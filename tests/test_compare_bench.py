@@ -9,6 +9,7 @@ import pytest
 from benchmarks.compare_bench import (
     Comparison,
     compare,
+    expand_sweeps,
     format_comparison,
     load_records,
     main,
@@ -62,6 +63,62 @@ class TestCompare:
         text = format_comparison(comparisons, only_old, only_new)
         assert "REGRESSED" in text and "ok" in text
         assert "only in OLD" in text
+
+
+SWEEP_OLD = {
+    "kernel_sweep_multi": {
+        "benchmark": "kernel_sweep_multi",
+        "sweep": [
+            {"n_users": 1000, "speedup": 4.0},
+            {"n_users": 20000, "speedup": 12.0},
+            {"n_users": 100000, "vectorized_seconds": 2.0},  # no reference run
+        ],
+    },
+    "kernel_headline_auction": {"n_users": 100000, "auction_seconds": 420.0},
+}
+
+
+class TestSweepExpansion:
+    def test_sweep_points_become_per_size_keys(self):
+        expanded = expand_sweeps(SWEEP_OLD)
+        assert expanded["kernel_sweep_multi@n=1000"]["speedup"] == 4.0
+        assert expanded["kernel_sweep_multi@n=20000"]["speedup"] == 12.0
+        # Vectorized-only points carry no speedup and are dropped.
+        assert "kernel_sweep_multi@n=100000" not in expanded
+        # Non-sweep records pass through untouched.
+        assert expanded["kernel_headline_auction"] is SWEEP_OLD["kernel_headline_auction"]
+
+    def test_regression_is_flagged_at_the_size_it_happens(self):
+        new = json.loads(json.dumps(SWEEP_OLD))
+        new["kernel_sweep_multi"]["sweep"][1]["speedup"] = 5.0  # 42% of old @20k
+        comparisons, _, _ = compare(SWEEP_OLD, new, tolerance=0.8)
+        flagged = {c.key: c.regressed for c in comparisons}
+        assert flagged["kernel_sweep_multi@n=20000"] is True
+        assert flagged["kernel_sweep_multi@n=1000"] is False
+
+    def test_records_without_speedup_never_fail_the_comparison(self):
+        comparisons, only_old, only_new = compare(SWEEP_OLD, SWEEP_OLD)
+        assert {c.key for c in comparisons} == {
+            "kernel_sweep_multi@n=1000",
+            "kernel_sweep_multi@n=20000",
+        }
+        assert not any(c.regressed for c in comparisons)
+        assert only_old == only_new == []
+
+    def test_dropped_sweep_size_is_reported_not_failed(self):
+        new = json.loads(json.dumps(SWEEP_OLD))
+        del new["kernel_sweep_multi"]["sweep"][0]
+        comparisons, only_old, only_new = compare(SWEEP_OLD, new)
+        assert only_old == ["kernel_sweep_multi@n=1000"]
+        assert only_new == []
+        assert not any(c.regressed for c in comparisons)
+
+    def test_checked_in_kernel_dump_compares_clean_against_itself(self):
+        from benchmarks.bench_scalability import BENCH_KERNELS_PATH
+
+        records = load_records(BENCH_KERNELS_PATH)
+        comparisons, _, _ = compare(records, records)
+        assert comparisons and not any(c.regressed for c in comparisons)
 
 
 class TestLoadAndMain:
