@@ -251,7 +251,18 @@ def test_pricing_speedups_full_size():
     """The ISSUE's acceptance targets: ≥5× multi at n=500, ≥2× single at n=100."""
     multi = run_multi_bench(n_users=500, n_tasks=40, repeats=2)
     single = run_single_bench(n_users=100, max_winners=6, repeats=1)
-    write_records([multi, single])
+    payload = write_records([multi, single])
+    from benchmarks.history import append_history
+
+    append_history(
+        {
+            key: payload["records"][key]
+            for key in (
+                f"{multi['benchmark']}_n{multi.get('n_users')}",
+                f"{single['benchmark']}_n{single.get('n_users')}",
+            )
+        }
+    )
     print(
         f"\nmulti n=500: {multi['speedup']:.2f}x "
         f"({multi['reference_seconds']:.2f}s -> {multi['fast_seconds']:.2f}s, "

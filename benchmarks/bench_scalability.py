@@ -290,6 +290,9 @@ def test_kernel_scaling_full_size():
     single = run_kernel_sweep_single()
     auction = run_kernel_auction()
     write_kernel_records([multi, single, auction])
+    from benchmarks.history import append_history
+
+    append_history({r["benchmark"]: r for r in (multi, single, auction)})
 
     by_n = {p["n_users"]: p for p in multi["sweep"]}
     largest_common = max(n for n, p in by_n.items() if "speedup" in p)

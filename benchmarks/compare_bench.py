@@ -3,6 +3,14 @@
 Usage::
 
     python benchmarks/compare_bench.py OLD.json NEW.json [--tolerance 0.8]
+    python benchmarks/compare_bench.py NEW.json --history [results/history.jsonl]
+
+With ``--history`` the baseline is not a single older dump but the **best
+historical speedup per key** from the append-only bench ledger
+(:mod:`benchmarks.history`, default ``benchmarks/results/history.jsonl``)
+— so a slow regression spread over several PRs, each individually inside
+tolerance against its predecessor, still trips the gate against the
+all-time best.
 
 Each dump is a ``{"records": {key: record}}`` mapping as written by
 :func:`benchmarks.bench_pricing.write_records` or
@@ -145,10 +153,31 @@ def format_comparison(
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Diff two BENCH_*.json dumps; exit 1 on speedup regression."
+        description="Diff two BENCH_*.json dumps (or a dump against the bench "
+        "history ledger); exit 1 on speedup regression."
     )
-    parser.add_argument("old", type=Path, help="baseline benchmark dump")
-    parser.add_argument("new", type=Path, help="candidate benchmark dump")
+    parser.add_argument(
+        "old",
+        type=Path,
+        help="baseline benchmark dump (with --history: the candidate dump)",
+    )
+    parser.add_argument(
+        "new",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="candidate benchmark dump (omitted with --history)",
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="LEDGER",
+        help="compare against the best-in-history baseline from this ledger "
+        "(default benchmarks/results/history.jsonl)",
+    )
     parser.add_argument(
         "--tolerance",
         type=float,
@@ -157,8 +186,27 @@ def main(argv: list[str] | None = None) -> int:
         f"(default {DEFAULT_TOLERANCE})",
     )
     args = parser.parse_args(argv)
+
+    if args.history is not None:
+        if args.new is not None:
+            parser.error("--history takes one dump: the candidate")
+        try:
+            from benchmarks.history import HISTORY_PATH, best_speedups, load_history
+        except ImportError:  # run as a loose script from benchmarks/
+            from history import HISTORY_PATH, best_speedups, load_history
+
+        ledger = HISTORY_PATH if args.history is True else args.history
+        baseline = best_speedups(load_history(ledger))
+        candidate = load_records(args.old)
+        print(f"# baseline: best-in-history from {ledger}")
+    else:
+        if args.new is None:
+            parser.error("two dumps required (or use --history)")
+        baseline = load_records(args.old)
+        candidate = load_records(args.new)
+
     comparisons, only_old, only_new = compare(
-        load_records(args.old), load_records(args.new), tolerance=args.tolerance
+        baseline, candidate, tolerance=args.tolerance
     )
     print(format_comparison(comparisons, only_old, only_new))
     regressions = [c for c in comparisons if c.regressed]

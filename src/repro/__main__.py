@@ -38,7 +38,10 @@ from pathlib import Path
 
 from .core.kernels import ENV_KERNEL, KERNELS, resolve_kernel
 from .obs import EventLog, RunManifest, Tracer, build_report, format_report, new_run_id
+from .obs.dashboard import watch_dashboard, write_dashboard
 from .obs.metrics import MetricsRegistry
+from .obs.profiler import build_profile, write_profile
+from .obs.progress import PROGRESS_SUFFIX, format_progress, progress_printer
 from .simulation import experiments as exp
 from .simulation.checkpoint import CHECKPOINT_NAME, CheckpointLog, load_checkpoint
 from .simulation.parallel import ExperimentRunner
@@ -140,6 +143,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream the span hierarchy and auction audit trail to events.jsonl",
     )
     run.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a live progress line for long phases (implies --trace: "
+        "heartbeats ride the same event stream)",
+    )
+    run.add_argument(
         "--quick",
         action="store_true",
         help="shrink every experiment to a smoke-test size",
@@ -158,6 +167,33 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("run_dir", type=Path, help="run directory written by 'run'")
     report.add_argument(
         "--json", action="store_true", help="emit the report as one JSON document"
+    )
+    report.add_argument(
+        "--html",
+        nargs="?",
+        type=Path,
+        const=True,
+        default=None,
+        metavar="PATH",
+        help="render a self-contained HTML dashboard "
+        "(default <run-dir>/report.html)",
+    )
+    report.add_argument(
+        "--watch",
+        action="store_true",
+        help="with --html: re-render (atomically) whenever events.jsonl grows",
+    )
+    report.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="poll interval in seconds for --watch (default 2)",
+    )
+    report.add_argument(
+        "--profile",
+        action="store_true",
+        help="write profile.json + profile.folded (flamegraph folded stacks) "
+        "and print the self-time hotspot table",
     )
     return parser
 
@@ -235,7 +271,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         config={
             "n_taxis": args.n_taxis,
             "quick": args.quick,
-            "trace": args.trace,
+            "trace": args.trace or args.progress,
             "experiment": args.experiment,
             "workers": args.workers,
             "chunk_size": args.chunk_size,
@@ -251,7 +287,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
     json_payload: list[dict] = []
     metrics = MetricsRegistry()
     with EventLog(out_dir / "events.jsonl") as log:
-        tracer = Tracer(sink=log.append, keep_records=False) if args.trace else None
+        sink = log.append
+        if args.progress:
+            # --progress implies tracing: heartbeats ride the event stream,
+            # and the sink additionally mirrors them to one console line.
+            printer = progress_printer()
+
+            def sink(record: dict, _append=log.append, _print=printer) -> None:
+                _append(record)
+                name = record.get("name", "")
+                if record.get("type") == "event" and name.endswith(PROGRESS_SUFFIX):
+                    _print(
+                        format_progress(
+                            name[: -len(PROGRESS_SUFFIX)],
+                            record.get("done", 0),
+                            record.get("total"),
+                            record.get("rate"),
+                            record.get("eta_seconds"),
+                        )
+                    )
+
+        trace_on = args.trace or args.progress
+        tracer = Tracer(sink=sink, keep_records=False) if trace_on else None
 
         if args.workers <= 1:
             # Warm the testbed cache up front (workers build their own); the
@@ -332,6 +389,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     )
                     print(f"# completed in {stats['seconds']:.1f}s{skipped}\n")
 
+    if args.progress:
+        sys.stderr.write("\n")  # release the \r-rewritten progress line
     (out_dir / "metrics.json").write_text(
         json.dumps(metrics.to_dict(), indent=2, sort_keys=True) + "\n"
     )
@@ -367,6 +426,46 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if not run_dir.exists():
         print(f"error: no such run directory: {run_dir}", file=sys.stderr)
         return 2
+    if args.watch and args.html is None:
+        print("error: --watch requires --html", file=sys.stderr)
+        return 2
+
+    if args.html is not None:
+        out_path = None if args.html is True else args.html
+        if args.watch:
+            print(
+                f"# watching {run_dir} (ctrl-c to stop); re-rendering on "
+                "events.jsonl growth",
+                file=sys.stderr,
+            )
+            try:
+                watch_dashboard(
+                    run_dir,
+                    out_path,
+                    interval=args.interval,
+                    on_render=lambda path, n: print(
+                        f"# render {n}: {path}", file=sys.stderr
+                    ),
+                )
+            except KeyboardInterrupt:
+                pass
+        else:
+            written = write_dashboard(run_dir, out_path)
+            print(f"# wrote {written}")
+    if args.profile:
+        from .obs.events import read_events
+        from .obs.manifest import MANIFEST_NAME, RunManifest
+
+        events_file = "events.jsonl"
+        if (run_dir / MANIFEST_NAME).exists():
+            events_file = RunManifest.load(run_dir).events_file or events_file
+        records = read_events(run_dir / events_file, tolerate_partial_tail=True)
+        json_path, folded_path = write_profile(run_dir, records=records)
+        print(build_profile(records).format())
+        print(f"# wrote {json_path} and {folded_path}")
+    if args.html is not None or args.profile:
+        return 0
+
     report = build_report(run_dir)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, default=str))

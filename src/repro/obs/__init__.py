@@ -23,6 +23,15 @@ paid *r_i*, per Algorithms 2/5 of the paper):
   timings, reuse fractions, and human-readable "why user *i* won and was
   paid *r_i*" explanations from the JSONL log alone
   (``python -m repro report <run-dir>``).
+* :class:`Heartbeat` — throttled ``<label>.progress`` events from long
+  phases (pricing replays, DP sweeps, experiment grids), surfaced by
+  ``repro run --progress`` and the live dashboard.
+* :func:`build_profile` / :func:`write_profile` — self-vs-child
+  wall-time attribution over the span tree, emitting ``profile.json``
+  and flamegraph-compatible folded stacks.
+* :func:`render_dashboard` / :func:`write_dashboard` /
+  :func:`watch_dashboard` — a dependency-free, self-contained HTML
+  report for any run directory (``repro report --html [--watch]``).
 
 Dependency direction: ``repro.obs`` imports nothing from ``repro.core``,
 ``repro.perf``, or ``repro.simulation`` — it only reads duck-typed
@@ -30,6 +39,7 @@ attributes — so any layer may import it without cycles.
 """
 
 from .audit import AuditTrail
+from .dashboard import render_dashboard, watch_dashboard, write_dashboard
 from .events import EventLog, read_events
 from .manifest import (
     MANIFEST_NAME,
@@ -39,6 +49,8 @@ from .manifest import (
     platform_info,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profiler import Frame, SpanProfile, build_profile, write_profile
+from .progress import Heartbeat, format_progress, progress_printer
 from .report import RunReport, build_report, format_report
 from .tracing import NullTracer, Span, Tracer
 
@@ -46,7 +58,9 @@ __all__ = [
     "AuditTrail",
     "Counter",
     "EventLog",
+    "Frame",
     "Gauge",
+    "Heartbeat",
     "Histogram",
     "MANIFEST_NAME",
     "MetricsRegistry",
@@ -54,11 +68,19 @@ __all__ = [
     "RunManifest",
     "RunReport",
     "Span",
+    "SpanProfile",
     "Tracer",
+    "build_profile",
     "build_report",
+    "format_progress",
     "format_report",
     "new_run_id",
     "package_versions",
     "platform_info",
+    "progress_printer",
     "read_events",
+    "render_dashboard",
+    "watch_dashboard",
+    "write_dashboard",
+    "write_profile",
 ]

@@ -1,14 +1,39 @@
 """Append-only JSONL event streams (the on-disk half of the tracer).
 
-:class:`EventLog` writes one JSON object per line, flushing after every
-record so a crashed run still leaves a parseable prefix.  Values that the
+:class:`EventLog` writes one JSON object per line.  Values that the
 stdlib encoder rejects — numpy scalars, sets, paths — are coerced by
 :func:`_json_default`, so producers can pass mechanism outputs verbatim.
 
-:func:`read_events` is the reader used by ``python -m repro report``: it
-returns the parsed records in file order and raises :class:`ValueError`
-with the offending line number on corruption, which the smoke tests use to
-assert stream validity.
+Flush policy
+------------
+
+By default every record is flushed immediately (``flush_every=1``), so a
+crashed run still leaves a parseable prefix and a ``--watch`` dashboard
+tailing the file sees events the moment they are emitted.  Long traced
+runs that emit tens of thousands of per-decision audit events can raise
+``flush_every=N`` to amortise the syscall; the log still force-flushes
+
+* whenever a **top-level span closes** (a ``span_end`` that leaves no
+  span open) — so stage boundaries are always durable and visible to
+  tail readers no matter the batch size, and
+* on :meth:`EventLog.flush` / :meth:`EventLog.close`.
+
+Torn-line tolerance contract
+----------------------------
+
+A process killed mid-``write`` can leave one *partial* final line.  This
+is the same contract the checkpoint loader
+(:func:`repro.simulation.checkpoint.load_checkpoint`) honours: **only the
+last line may be torn; every earlier line is complete.**  The flush
+discipline above guarantees it — a line is never partially flushed with
+more lines after it.  Readers choose their strictness:
+
+* :func:`read_events` (the ``python -m repro report`` reader) raises
+  :class:`ValueError` with the offending line number on *any* corruption
+  — post-mortem analysis wants to know about damage;
+* ``read_events(path, tolerate_partial_tail=True)`` — used by the live
+  dashboard's ``--watch`` loop, which races the writer — silently drops
+  a malformed **final** line and still raises on any earlier one.
 """
 
 from __future__ import annotations
@@ -40,25 +65,55 @@ class EventLog:
     Usable as a context manager; :meth:`append` is the callable handed to
     :class:`repro.obs.tracing.Tracer` as its sink
     (``Tracer(sink=log.append)``).
+
+    Args:
+        path: Destination file (parent directories are created).
+        flush_every: Flush after every N appended records (default 1 =
+            flush always).  Regardless of N, the log flushes when a
+            top-level span ends — see the module docstring's flush
+            policy — so tail readers never wait for process exit to see
+            a completed stage.
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path, flush_every: int = 1):
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every!r}")
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = open(self.path, "a", encoding="utf-8")
         self._lock = threading.Lock()
         self._count = 0
+        self._flush_every = flush_every
+        self._pending = 0
+        self._open_spans = 0
 
     def append(self, record: dict) -> None:
         line = json.dumps(record, default=_json_default, separators=(",", ":"))
+        kind = record.get("type")
         with self._lock:
             self._fh.write(line + "\n")
-            self._fh.flush()
             self._count += 1
+            self._pending += 1
+            if kind == "span_start":
+                self._open_spans += 1
+            elif kind == "span_end":
+                self._open_spans = max(0, self._open_spans - 1)
+            if self._pending >= self._flush_every or (
+                kind == "span_end" and self._open_spans == 0
+            ):
+                self._fh.flush()
+                self._pending = 0
 
     def extend(self, records: Iterable[dict]) -> None:
         for record in records:
             self.append(record)
+
+    def flush(self) -> None:
+        """Force pending records to disk (tail readers see them now)."""
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.flush()
+                self._pending = 0
 
     @property
     def count(self) -> int:
@@ -68,6 +123,7 @@ class EventLog:
         with self._lock:
             if not self._fh.closed:
                 self._fh.close()
+                self._pending = 0
 
     def __enter__(self) -> "EventLog":
         return self
@@ -76,21 +132,32 @@ class EventLog:
         self.close()
 
 
-def read_events(path: str | Path) -> list[dict]:
+def read_events(path: str | Path, tolerate_partial_tail: bool = False) -> list[dict]:
     """Parse a JSONL event stream back into records (file order).
+
+    Args:
+        path: The ``events.jsonl`` file.
+        tolerate_partial_tail: Accept a malformed **final** line (the
+            torn-write signature of a live or killed writer — see the
+            module docstring's tolerance contract) by dropping it.
+            Malformed non-final lines still raise.
 
     Raises:
         FileNotFoundError: If the stream does not exist.
-        ValueError: On a malformed line, naming its 1-based line number.
+        ValueError: On a malformed line, naming its 1-based line number
+            (a malformed final line only when ``tolerate_partial_tail``
+            is false).
     """
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
     records: list[dict] = []
-    with open(path, encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}: malformed JSONL at line {lineno}: {exc}") from exc
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if tolerate_partial_tail and lineno == len(lines):
+                break  # torn final write from a live (or killed) producer
+            raise ValueError(f"{path}: malformed JSONL at line {lineno}: {exc}") from exc
     return records

@@ -1,0 +1,247 @@
+"""Span-level profiling attribution: where did the traced wall-time go?
+
+The tracer records *what ran* (span tree) and *how long* (per-span
+``seconds``); this module turns those records into an attribution — for
+every call path, how much time was spent **in the span itself** (self
+time) versus **in its children** — so a claim like "the 100k auction is
+pricing-bound" becomes a measured breakdown instead of an estimate.
+
+Inputs are plain record dicts (from :func:`repro.obs.events.read_events`
+or a live ``Tracer.records`` list); nothing from the original process is
+needed.  Two record kinds participate:
+
+* ``span_start`` / ``span_end`` pairs build the tree.  A span's **self
+  time** is its duration minus the summed durations of its direct
+  children (clamped at zero: children running on *threads* — the batch
+  pricer's fan-out — can overlap and sum past the parent's wall clock).
+* ``profile.breakdown`` point events let a producer split a span's self
+  time into named parts *without* paying per-part span overhead in a hot
+  loop: the event carries ``parts={name: seconds}`` and each part
+  becomes a synthetic child frame of the enclosing span (the batch
+  pricer reports ``gain_recompute`` / ``heap_maintenance`` /
+  ``residual_update`` inside each ``counterfactual`` span this way).
+
+Outputs:
+
+* :meth:`SpanProfile.to_dict` → ``profile.json`` — per-path frames
+  (total/self/count), the hotspot ranking, and the coverage fraction
+  (attributed seconds over traced root seconds; ≥0.95 on any run whose
+  spans nest cleanly);
+* :meth:`SpanProfile.folded` → ``profile.folded`` — flamegraph-
+  compatible folded stacks (``root;child;leaf <self-microseconds>``),
+  renderable by any ``flamegraph.pl``-family tool.
+
+``python -m repro report <run-dir> --profile`` writes both artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["Frame", "SpanProfile", "build_profile", "write_profile"]
+
+#: Event name a producer uses to split its current span's self time into
+#: named parts (``parts={name: seconds}``) without per-part spans.
+EVENT_BREAKDOWN = "profile.breakdown"
+
+
+@dataclass
+class Frame:
+    """Aggregated timing for one call path (tuple of span names)."""
+
+    path: tuple[str, ...]
+    total_seconds: float = 0.0
+    self_seconds: float = 0.0
+    count: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.path[-1]
+
+    def to_dict(self) -> dict:
+        return {
+            "path": ";".join(self.path),
+            "total_seconds": round(self.total_seconds, 9),
+            "self_seconds": round(self.self_seconds, 9),
+            "count": self.count,
+        }
+
+
+@dataclass
+class SpanProfile:
+    """Self/child wall-time attribution over one record stream."""
+
+    frames: dict[tuple[str, ...], Frame] = field(default_factory=dict)
+    root_seconds: float = 0.0  # summed duration of root spans
+    unclosed_spans: int = 0  # span_start without a span_end (crash tail)
+
+    @property
+    def attributed_seconds(self) -> float:
+        """Total self time across every frame (parts included)."""
+        return sum(f.self_seconds for f in self.frames.values())
+
+    @property
+    def coverage(self) -> float:
+        """Attributed fraction of traced root wall-time (0 when untraced)."""
+        if self.root_seconds <= 0:
+            return 0.0
+        return self.attributed_seconds / self.root_seconds
+
+    def hotspots(self, limit: int = 10) -> list[Frame]:
+        """Frames ranked by self time, largest first."""
+        ranked = sorted(self.frames.values(), key=lambda f: -f.self_seconds)
+        return ranked[:limit]
+
+    def folded(self) -> str:
+        """Flamegraph folded stacks: one ``path <self-microseconds>`` line
+        per frame, stable (path-sorted) order, zero-self frames skipped."""
+        lines = []
+        for path in sorted(self.frames):
+            frame = self.frames[path]
+            micros = int(round(frame.self_seconds * 1e6))
+            if micros > 0:
+                lines.append(f"{';'.join(path)} {micros}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_dict(self) -> dict:
+        return {
+            "root_seconds": round(self.root_seconds, 9),
+            "attributed_seconds": round(self.attributed_seconds, 9),
+            "coverage": round(self.coverage, 6),
+            "unclosed_spans": self.unclosed_spans,
+            "frames": [
+                self.frames[path].to_dict() for path in sorted(self.frames)
+            ],
+            "hotspots": [f.to_dict() for f in self.hotspots()],
+        }
+
+    def format(self, limit: int = 12) -> str:
+        """Human-readable hotspot table (what ``report --profile`` prints)."""
+        lines = [
+            f"traced wall-time {self.root_seconds:.4f}s, "
+            f"attributed {self.attributed_seconds:.4f}s "
+            f"({self.coverage:.1%} coverage)"
+        ]
+        if self.unclosed_spans:
+            lines.append(f"  {self.unclosed_spans} span(s) never closed (crash tail?)")
+        lines.append(f"{'self':>10}  {'total':>10}  {'count':>7}  path")
+        for frame in self.hotspots(limit):
+            lines.append(
+                f"{frame.self_seconds:>9.4f}s  {frame.total_seconds:>9.4f}s  "
+                f"{frame.count:>7}  {';'.join(frame.path)}"
+            )
+        return "\n".join(lines)
+
+
+def build_profile(records: list[dict]) -> SpanProfile:
+    """Attribute traced wall-time to span paths from raw records.
+
+    Works on any record stream the tracer family produces, including
+    absorbed worker records (their namespaced ids keep parent links
+    consistent within each cell, and each cell's outermost span simply
+    becomes another root).
+    """
+    # Pass 1: index spans and their tree structure.
+    meta: dict[int, dict] = {}  # span_id -> {name, parent_id, seconds}
+    order: list[int] = []  # span ids in start order (stable frame ordering)
+    breakdowns: dict[int, dict[str, float]] = {}  # span_id -> summed parts
+    for rec in records:
+        kind = rec.get("type")
+        if kind == "span_start":
+            sid = rec["span_id"]
+            meta[sid] = {
+                "name": rec.get("name", "?"),
+                "parent_id": rec.get("parent_id"),
+                "seconds": None,
+            }
+            order.append(sid)
+        elif kind == "span_end":
+            info = meta.get(rec.get("span_id"))
+            if info is not None and rec.get("seconds") is not None:
+                info["seconds"] = float(rec["seconds"])
+        elif kind == "event" and rec.get("name") == EVENT_BREAKDOWN:
+            sid = rec.get("span_id")
+            parts = rec.get("parts")
+            if sid is not None and isinstance(parts, dict):
+                bucket = breakdowns.setdefault(sid, {})
+                for part, seconds in parts.items():
+                    if isinstance(seconds, (int, float)):
+                        bucket[str(part)] = bucket.get(str(part), 0.0) + float(seconds)
+
+    # Pass 2: resolve each span's path (memoized walk to the root) and sum
+    # direct-child durations per parent.
+    child_seconds: dict[int, float] = {}
+    for sid, info in meta.items():
+        parent = info["parent_id"]
+        if parent in meta and info["seconds"] is not None:
+            child_seconds[parent] = child_seconds.get(parent, 0.0) + info["seconds"]
+
+    paths: dict[int, tuple[str, ...]] = {}
+
+    def path_of(sid: int) -> tuple[str, ...]:
+        cached = paths.get(sid)
+        if cached is not None:
+            return cached
+        info = meta[sid]
+        parent = info["parent_id"]
+        prefix = path_of(parent) if parent in meta else ()
+        paths[sid] = prefix + (info["name"],)
+        return paths[sid]
+
+    profile = SpanProfile()
+    for sid in order:
+        info = meta[sid]
+        seconds = info["seconds"]
+        if seconds is None:
+            profile.unclosed_spans += 1
+            continue
+        path = path_of(sid)
+        if info["parent_id"] not in meta:
+            profile.root_seconds += seconds
+        parts = breakdowns.get(sid, {})
+        parts_total = sum(parts.values())
+        self_seconds = max(0.0, seconds - child_seconds.get(sid, 0.0) - parts_total)
+
+        frame = profile.frames.setdefault(path, Frame(path=path))
+        frame.total_seconds += seconds
+        frame.self_seconds += self_seconds
+        frame.count += 1
+        for part, part_seconds in parts.items():
+            part_path = path + (part,)
+            part_frame = profile.frames.setdefault(part_path, Frame(path=part_path))
+            part_frame.total_seconds += part_seconds
+            part_frame.self_seconds += part_seconds
+            part_frame.count += 1
+    return profile
+
+
+def write_profile(
+    run_dir: str | Path, records: list[dict] | None = None
+) -> tuple[Path, Path]:
+    """Write ``profile.json`` + ``profile.folded`` into a run directory.
+
+    Args:
+        run_dir: Run directory holding ``events.jsonl`` (per its manifest).
+        records: Pre-parsed records (skips re-reading the stream).
+
+    Returns:
+        ``(profile_json_path, folded_path)``.
+    """
+    from .events import read_events
+    from .manifest import MANIFEST_NAME, RunManifest
+
+    run_dir = Path(run_dir)
+    if records is None:
+        events_file = "events.jsonl"
+        if (run_dir / MANIFEST_NAME).exists():
+            manifest = RunManifest.load(run_dir)
+            events_file = manifest.events_file or events_file
+        records = read_events(run_dir / events_file, tolerate_partial_tail=True)
+    profile = build_profile(records)
+    json_path = run_dir / "profile.json"
+    json_path.write_text(json.dumps(profile.to_dict(), indent=2) + "\n")
+    folded_path = run_dir / "profile.folded"
+    folded_path.write_text(profile.folded())
+    return json_path, folded_path

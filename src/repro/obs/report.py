@@ -69,16 +69,33 @@ class RunReport:
         }
 
 
-def build_report(run_dir: str | Path) -> RunReport:
-    """Parse a run directory's manifest + events into a :class:`RunReport`."""
+def build_report(
+    run_dir: str | Path,
+    records: list[dict] | None = None,
+    tolerant: bool = False,
+) -> RunReport:
+    """Parse a run directory's manifest + events into a :class:`RunReport`.
+
+    Args:
+        run_dir: The run directory.
+        records: Pre-parsed event records (skips reading the stream).
+        tolerant: Read the stream with ``tolerate_partial_tail=True`` —
+            the live-dashboard mode, where the writer may still be
+            appending (see :mod:`repro.obs.events` for the contract).
+    """
     run_dir = Path(run_dir)
     manifest: RunManifest | None = None
     if (run_dir / MANIFEST_NAME).exists():
         manifest = RunManifest.load(run_dir)
 
-    events_file = (manifest.events_file if manifest else None) or "events.jsonl"
-    events_path = run_dir / events_file
-    records = read_events(events_path) if events_path.exists() else []
+    if records is None:
+        events_file = (manifest.events_file if manifest else None) or "events.jsonl"
+        events_path = run_dir / events_file
+        records = (
+            read_events(events_path, tolerate_partial_tail=tolerant)
+            if events_path.exists()
+            else []
+        )
 
     report = RunReport(run_dir=run_dir, manifest=manifest, n_events=len(records))
     perf: dict[str, float] = {}

@@ -6,7 +6,10 @@ a span (``with tracer.span("winner_determination"):``) emits a
 wall-clock; :meth:`Tracer.event` emits a point event attached to the
 current span.  Records go to an optional *sink* callable — typically
 :meth:`repro.obs.events.EventLog.append` — and are also kept in memory for
-programmatic inspection.
+programmatic inspection.  Span records carry a monotonic ``ts``
+(``time.perf_counter()`` at open/close) so offline consumers — the
+dashboard's stage waterfall, the span profiler — can reconstruct relative
+timing without wall-clock ambiguity.
 
 The mechanisms accept a tracer **duck-typed** with a ``tracer=None``
 default (the same contract as ``PerfCounters``): the disabled path costs a
@@ -112,6 +115,7 @@ class Tracer:
                     "span_id": span.span_id,
                     "parent_id": span.parent_id,
                     "name": name,
+                    "ts": span.start,
                     **attrs,
                 }
             )
@@ -133,6 +137,7 @@ class Tracer:
                         "span_id": span.span_id,
                         "name": name,
                         "seconds": span.seconds,
+                        "ts": span.end,
                     }
                 )
 

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import bisect
 import heapq
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -59,6 +60,8 @@ from repro.core.kernels import resolve_kernel
 from repro.core.obshooks import emit as _emit
 from repro.core.obshooks import span as _span
 from repro.core.types import AuctionInstance
+from repro.obs.profiler import EVENT_BREAKDOWN
+from repro.obs.progress import Heartbeat
 
 from .instrumentation import PerfCounters
 
@@ -375,7 +378,11 @@ class BatchPricer:
     # ------------------------------------------------------------------ #
 
     def _replay_without(
-        self, start: int, excluded_row: int, counters: PerfCounters
+        self,
+        start: int,
+        excluded_row: int,
+        counters: PerfCounters,
+        breakdown: dict[str, float] | None = None,
     ) -> tuple[tuple[GreedyIteration, ...], bool]:
         """Resume the greedy from iteration ``start`` with one row removed.
 
@@ -387,7 +394,12 @@ class BatchPricer:
         anything closer goes through the full reference tie-chain.  A row
         whose fresh gain drops to ``≤ ε`` can never become eligible again
         and leaves the heap for good.
+
+        ``breakdown`` (audit mode only — ``price`` passes it when a tracer
+        is attached) accumulates per-section seconds: ``gain_recompute``
+        vs ``heap_maintenance`` vs ``residual_update``.
         """
+        clock = time.perf_counter if breakdown is not None else None
         snap_residual, snap_rows, snap_ratios = self._snapshots[start]
         residual = snap_residual.copy()
         contrib = self._contrib
@@ -413,6 +425,8 @@ class BatchPricer:
         while residual.max() > _EPS:
             executed += 1
             sel: object = None
+            loop_start = clock() if clock else 0.0
+            gain_seconds = 0.0
             while heap:
                 neg_bound, row = heapq.heappop(heap)
                 if not alive[row]:
@@ -420,7 +434,10 @@ class BatchPricer:
                 if stamp[row] == executed:
                     gain, ratio = fresh_gain[row], -neg_bound
                 else:
+                    t0 = clock() if clock else 0.0
                     gain = np.minimum(contrib[row], residual).sum()
+                    if clock:
+                        gain_seconds += clock() - t0
                     if gain <= _EPS:
                         continue  # gains only shrink: permanently ineligible
                     ratio = gain / costs[row]
@@ -436,12 +453,20 @@ class BatchPricer:
                     sel = fallback
                     break
                 heapq.heappush(heap, (-ratio, row))  # tightened bound
+            if clock:
+                # Everything in the pop/push loop that wasn't a fresh gain
+                # computation is heap maintenance.
+                breakdown["gain_recompute"] += gain_seconds
+                breakdown["heap_maintenance"] += clock() - loop_start - gain_seconds
             if sel is fallback:
                 # Reference scan over all live rows (ascending user id).
+                t0 = clock() if clock else 0.0
                 live = np.flatnonzero(alive)
                 gains = np.minimum(contrib[live], residual[None, :]).sum(axis=1)
                 ratios = gains / costs[live]
                 local = select_best_row(gains, ratios)
+                if clock:
+                    breakdown["gain_recompute"] += clock() - t0
                 if local < 0:
                     break
                 sel = (int(live[local]), gains[local], ratios[local])
@@ -458,14 +483,21 @@ class BatchPricer:
                 )
             )
             alive[row] = False
+            t0 = clock() if clock else 0.0
             np.subtract(residual, contrib[row], out=residual)
             np.maximum(residual, 0.0, out=residual)
+            if clock:
+                breakdown["residual_update"] += clock() - t0
 
         counters.greedy_iterations += executed
         return tuple(iterations), bool((residual <= _EPS).all())
 
     def _replay_without_vectorized(
-        self, start: int, excluded_row: int, counters: PerfCounters
+        self,
+        start: int,
+        excluded_row: int,
+        counters: PerfCounters,
+        breakdown: dict[str, float] | None = None,
     ) -> tuple[tuple[GreedyIteration, ...], bool]:
         """Vectorized replay: same lazy-greedy loop on the CSR matrix.
 
@@ -485,7 +517,10 @@ class BatchPricer:
         sitting at the heap top can only inflate ``next_bound``, which
         makes the certificate *more* conservative — never a wrong
         selection.
+
+        ``breakdown`` — see :meth:`_replay_without`; same three sections.
         """
+        clock = time.perf_counter if breakdown is not None else None
         residual = self._snapshots[start].copy()
         matrix = self._matrix
         costs = self._costs
@@ -510,12 +545,17 @@ class BatchPricer:
         while residual.max() > _EPS:
             executed += 1
             sel: object = None
+            loop_start = clock() if clock else 0.0
+            gain_seconds = 0.0
             while heap:
                 neg_bound, row = heapq.heappop(heap)
                 if not alive[row]:
                     continue
                 if not clean[row]:
+                    t0 = clock() if clock else 0.0
                     cached_gain[row] = matrix.row_gain(row, residual)
+                    if clock:
+                        gain_seconds += clock() - t0
                     clean[row] = True
                     counters.greedy_rows_recomputed += 1
                 gain = cached_gain[row]
@@ -532,13 +572,21 @@ class BatchPricer:
                     sel = fallback
                     break
                 heapq.heappush(heap, (-ratio, row))  # tightened bound
+            if clock:
+                # Everything in the pop/push loop that wasn't a fresh gain
+                # computation is heap maintenance.
+                breakdown["gain_recompute"] += gain_seconds
+                breakdown["heap_maintenance"] += clock() - loop_start - gain_seconds
             if sel is fallback:
                 # Reference scan over all live rows (ascending user id).
+                t0 = clock() if clock else 0.0
                 live = np.flatnonzero(alive)
                 gains = matrix.gains(live, residual)
                 ratios = gains / costs[live]
                 counters.greedy_rows_recomputed += int(live.size)
                 local = select_best_row(gains, ratios)
+                if clock:
+                    breakdown["gain_recompute"] += clock() - t0
                 if local < 0:
                     break
                 sel = (int(live[local]), gains[local], ratios[local])
@@ -555,6 +603,7 @@ class BatchPricer:
                 )
             )
             alive[row] = False
+            t0 = clock() if clock else 0.0
             winner_cols = matrix.row_cols(row)
             changed = winner_cols[residual[winner_cols] > 0.0]
             winner_row = matrix.dense_row(row)
@@ -562,6 +611,8 @@ class BatchPricer:
             matrix._clear_row_buf(row)
             if changed.size:
                 clean[matrix.rows_touching(changed)] = False
+            if clock:
+                breakdown["residual_update"] += clock() - t0
 
         counters.greedy_iterations += executed
         return tuple(iterations), bool((residual <= _EPS).all())
@@ -580,6 +631,13 @@ class BatchPricer:
         counters = counters if counters is not None else self.counters
         user = self.instance.user_by_id(user_id)
         with _span(self.tracer, "counterfactual", user_id=user_id):
+            # Audit mode only: split the replay's self time into named
+            # parts for the profiler (one point event, no per-part spans).
+            breakdown = (
+                {"gain_recompute": 0.0, "heap_maintenance": 0.0, "residual_update": 0.0}
+                if self.tracer is not None
+                else None
+            )
             if user_id in self._position:
                 start = self._position[user_id]
                 replay = (
@@ -587,7 +645,9 @@ class BatchPricer:
                     if self.kernel == "vectorized"
                     else self._replay_without
                 )
-                suffix, satisfied = replay(start, self._row_of[user_id], counters)
+                suffix, satisfied = replay(
+                    start, self._row_of[user_id], counters, breakdown
+                )
                 iterations = self.trace.iterations[:start] + suffix
                 counters.greedy_prefix_iterations_reused += start
                 prefix_reused, suffix_len = start, len(suffix)
@@ -600,6 +660,8 @@ class BatchPricer:
                 prefix_reused, suffix_len = len(iterations), 0
             counters.counterfactual_runs += 1
             price = price_from_iterations(user, iterations, satisfied, self.method)
+            if breakdown is not None and any(breakdown.values()):
+                _emit(self.tracer, EVENT_BREAKDOWN, parts=breakdown)
         _emit(
             self.tracer,
             "audit.counterfactual",
@@ -614,24 +676,51 @@ class BatchPricer:
     def price_all(self, max_workers: int | None = None) -> dict[int, float]:
         """Critical bids for every winner, in selection order.
 
+        When a tracer is attached, a throttled ``pricing.progress``
+        heartbeat reports done/total, rate, and ETA across the phase —
+        this loop is the O(W²) bottleneck at benchmark sizes, and without
+        the heartbeat it is a minutes-long silent stall in the event
+        stream.
+
         Args:
             max_workers: Opt-in thread fan-out across winners (``None`` or
                 ``<= 1`` prices sequentially).  Workers accumulate into
                 private counter sets merged back at the end, so the shared
-                counters stay consistent.
+                counters stay consistent (``Heartbeat.update`` is itself
+                thread-safe).
         """
         winners = self.trace.selected
+        beat = (
+            Heartbeat(
+                "pricing",
+                total=len(winners),
+                tracer=self.tracer,
+                mechanism="multi_task",
+            )
+            if self.tracer is not None and winners
+            else None
+        )
         if max_workers is None or max_workers <= 1 or len(winners) < 2:
-            return {uid: self.price(uid) for uid in winners}
+            prices = {}
+            for uid in winners:
+                prices[uid] = self.price(uid)
+                if beat is not None:
+                    beat.update()
+            if beat is not None:
+                beat.finish()
+            return prices
+
+        def _price_one(pair: tuple[int, PerfCounters]) -> float:
+            result = self.price(pair[0], counters=pair[1])
+            if beat is not None:
+                beat.update()
+            return result
 
         worker_counters = [PerfCounters() for _ in winners]
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            prices = list(
-                pool.map(
-                    lambda pair: self.price(pair[0], counters=pair[1]),
-                    zip(winners, worker_counters),
-                )
-            )
+            prices_list = list(pool.map(_price_one, zip(winners, worker_counters)))
         for wc in worker_counters:
             self.counters.merge(wc)
-        return dict(zip(winners, prices))
+        if beat is not None:
+            beat.finish()
+        return dict(zip(winners, prices_list))

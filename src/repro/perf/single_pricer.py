@@ -34,6 +34,7 @@ property tests live in ``tests/perf/test_single_pricer.py``.
 from __future__ import annotations
 
 import math
+import time
 
 import numpy as np
 
@@ -54,7 +55,11 @@ from repro.core.frontier_kernel import (
     frontier_rows,
 )
 from repro.core.kernels import resolve_kernel
+from repro.core.obshooks import emit as _emit
+from repro.core.obshooks import span as _span
 from repro.core.types import SingleTaskInstance
+from repro.obs.profiler import EVENT_BREAKDOWN
+from repro.obs.progress import Heartbeat
 
 from .instrumentation import PerfCounters
 
@@ -110,6 +115,7 @@ class SingleTaskPricer:
         self.counters = counters if counters is not None else PerfCounters()
         self.tracer = tracer
         self.kernel = resolve_kernel(kernel)
+        self._probe_seconds = 0.0  # accumulated by _wins under a tracer
 
         n = instance.n_users
         self._n = n
@@ -323,7 +329,10 @@ class SingleTaskPricer:
             self.counters.wins_cache_hits += 1
             self._trace_probe(user_id, contribution, won=False, cached=True)
             return False
+        t0 = time.perf_counter() if self.tracer is not None else 0.0
         selected = self._allocate(rank, contribution)
+        if self.tracer is not None:
+            self._probe_seconds += time.perf_counter() - t0
         won = selected is not None and user_id in selected
         if won:
             self._win_bound = min(self._win_bound, contribution)
@@ -349,10 +358,36 @@ class SingleTaskPricer:
         :func:`repro.core.critical.critical_contribution_single` probe by
         probe (identical bisection arithmetic, identical verdicts).
 
+        With a tracer attached the search runs inside a ``counterfactual``
+        span (matching :meth:`repro.perf.batch_pricer.BatchPricer.price`)
+        and emits a ``profile.breakdown`` event splitting its self time
+        into ``fptas_probe`` (time inside uncached FPTAS allocations) vs
+        ``bisection_overhead`` (memo lookups plus search bookkeeping).
+
         Raises:
             CriticalBidError: If the user does not win at her declared
                 contribution.
         """
+        with _span(self.tracer, "counterfactual", user_id=user_id):
+            t_start = time.perf_counter() if self.tracer is not None else 0.0
+            self._probe_seconds = 0.0
+            try:
+                return self._critical_inner(user_id)
+            finally:
+                if self.tracer is not None:
+                    total = time.perf_counter() - t_start
+                    _emit(
+                        self.tracer,
+                        EVENT_BREAKDOWN,
+                        parts={
+                            "fptas_probe": self._probe_seconds,
+                            "bisection_overhead": max(
+                                0.0, total - self._probe_seconds
+                            ),
+                        },
+                    )
+
+    def _critical_inner(self, user_id: int) -> float:
         self._reset_user(user_id)
         rank = self._rank_of[user_id]
         declared = self.instance.contributions[self.instance.index_of(user_id)]
@@ -377,8 +412,29 @@ class SingleTaskPricer:
     def price_all(self, user_ids) -> dict[int, float]:
         """Critical contributions for a set of winners, in ascending id order
         (the order :class:`repro.core.single_task.SingleTaskMechanism` uses).
+
+        With a tracer attached, a throttled ``pricing.progress`` heartbeat
+        reports done/total/rate/ETA across the winners.
         """
-        return {uid: self.critical(uid) for uid in sorted(user_ids)}
+        ordered = sorted(user_ids)
+        beat = (
+            Heartbeat(
+                "pricing",
+                total=len(ordered),
+                tracer=self.tracer,
+                mechanism="single_task",
+            )
+            if self.tracer is not None and ordered
+            else None
+        )
+        prices = {}
+        for uid in ordered:
+            prices[uid] = self.critical(uid)
+            if beat is not None:
+                beat.update()
+        if beat is not None:
+            beat.finish()
+        return prices
 
 
 def critical_contribution_single_fast(

@@ -39,6 +39,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 
 from ..obs.metrics import MetricsRegistry
+from ..obs.progress import Heartbeat
 from ..obs.tracing import Tracer
 from .checkpoint import CellRecord, normalize_values
 from .experiments import GRIDS, Cell, ExperimentGrid, default_testbed
@@ -282,9 +283,28 @@ class ExperimentRunner:
             max(len(pending), 1), self.workers
         )
         if pending:
+            # One heartbeat per grid: a `cells.progress` event as cells
+            # complete (throttled), so a --watch dashboard or --progress
+            # console line sees long grids advance.
+            beat = (
+                Heartbeat(
+                    "cells",
+                    total=len(pending),
+                    tracer=self.tracer,
+                    experiment=name,
+                )
+                if self.tracer is not None
+                else None
+            )
             if self.workers == 1:
                 self._run_serial(
-                    grid, pending, params, norm_params, values_by_index, metrics_by_index
+                    grid,
+                    pending,
+                    params,
+                    norm_params,
+                    values_by_index,
+                    metrics_by_index,
+                    beat,
                 )
             else:
                 self._run_parallel(
@@ -295,7 +315,10 @@ class ExperimentRunner:
                     chunk,
                     values_by_index,
                     metrics_by_index,
+                    beat,
                 )
+            if beat is not None:
+                beat.finish()
 
         self._merge_metrics(name, cells, values_by_index, metrics_by_index)
         ordered = [values_by_index[cell.index] for cell in cells]
@@ -348,7 +371,14 @@ class ExperimentRunner:
             )
 
     def _run_serial(
-        self, grid, pending, params, norm_params, values_by_index, metrics_by_index
+        self,
+        grid,
+        pending,
+        params,
+        norm_params,
+        values_by_index,
+        metrics_by_index,
+        beat: Heartbeat | None = None,
     ) -> None:
         testbed = default_testbed(
             n_taxis=self.n_taxis, seed=self.seed, kind=grid.testbed_kind
@@ -368,6 +398,8 @@ class ExperimentRunner:
                 values_by_index,
                 metrics_by_index,
             )
+            if beat is not None:
+                beat.update()
 
     def _run_parallel(
         self,
@@ -378,6 +410,7 @@ class ExperimentRunner:
         chunk,
         values_by_index,
         metrics_by_index,
+        beat: Heartbeat | None = None,
     ) -> None:
         pool = self._ensure_pool()
         by_index = {cell.index: cell for cell in pending}
@@ -407,6 +440,8 @@ class ExperimentRunner:
                     values_by_index,
                     metrics_by_index,
                 )
+                if beat is not None:
+                    beat.update()
 
     def _merge_metrics(
         self, name: str, cells, values_by_index, metrics_by_index

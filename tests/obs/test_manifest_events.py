@@ -69,6 +69,54 @@ class TestEventLog:
         assert kinds == ["span_start", "event", "span_end"]
 
 
+class TestFlushPolicy:
+    """EventLog's documented flush contract: batch by ``flush_every``, but
+    always flush when a top-level span closes, so tail readers see every
+    completed stage without waiting for process exit."""
+
+    def test_flush_every_batches_writes(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path, flush_every=100)
+        try:
+            for i in range(5):
+                log.append({"type": "event", "name": "tick", "i": i})
+            assert path.read_text() == ""  # still buffered
+            log.flush()
+            assert len(read_events(path)) == 5
+        finally:
+            log.close()
+
+    def test_top_level_span_end_forces_flush(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path, flush_every=100)
+        try:
+            log.append({"type": "span_start", "span_id": 1, "name": "run"})
+            log.append({"type": "span_start", "span_id": 2, "name": "stage"})
+            log.append({"type": "span_end", "span_id": 2, "name": "stage"})
+            assert path.read_text() == ""  # nested end: still buffered
+            log.append({"type": "span_end", "span_id": 1, "name": "run"})
+            assert len(read_events(path)) == 4  # top-level end: flushed
+        finally:
+            log.close()
+
+    def test_flush_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="flush_every"):
+            EventLog(tmp_path / "events.jsonl", flush_every=0)
+
+    def test_tail_reader_tolerates_torn_final_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"ok": 1}\n{"type": "event", "na')  # torn write
+        assert read_events(path, tolerate_partial_tail=True) == [{"ok": 1}]
+        with pytest.raises(ValueError, match="line 2"):
+            read_events(path)
+
+    def test_torn_middle_line_still_raises_when_tolerant(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n{"ok": 2}\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_events(path, tolerate_partial_tail=True)
+
+
 class TestManifest:
     def test_write_and_load_roundtrip(self, tmp_path):
         manifest = RunManifest(

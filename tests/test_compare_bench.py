@@ -157,3 +157,143 @@ class TestLoadAndMain:
         records = load_records(BENCH_PATH)
         comparisons, _, _ = compare(records, records)
         assert comparisons and not any(c.regressed for c in comparisons)
+
+
+class TestHistoryLedger:
+    """benchmarks/history.py: append-only ledger + best-in-history baseline."""
+
+    def _entry(self, key, record, sha="abc123"):
+        return {
+            "key": key,
+            "git_sha": sha,
+            "recorded_at": "2026-01-01T00:00:00Z",
+            "platform": {"python": "x"},
+            "record": record,
+        }
+
+    def test_append_and_load_roundtrip(self, tmp_path):
+        from benchmarks.history import append_history, load_history
+
+        ledger = tmp_path / "history.jsonl"
+        n = append_history(
+            {"bench_n10": {"benchmark": "bench", "n_users": 10, "speedup": 3.0}},
+            ledger,
+            sha="deadbeef",
+            recorded_at="2026-01-01T00:00:00Z",
+        )
+        assert n == 1
+        (entry,) = load_history(ledger)
+        assert entry["key"] == "bench_n10"
+        assert entry["git_sha"] == "deadbeef"
+        assert entry["recorded_at"] == "2026-01-01T00:00:00Z"
+        assert entry["record"]["speedup"] == 3.0
+        assert "python" in entry["platform"]
+
+    def test_load_missing_ledger_is_empty(self, tmp_path):
+        from benchmarks.history import load_history
+
+        assert load_history(tmp_path / "nope.jsonl") == []
+
+    def test_load_tolerates_torn_final_line(self, tmp_path):
+        from benchmarks.history import load_history
+
+        ledger = tmp_path / "history.jsonl"
+        ledger.write_text(
+            json.dumps(self._entry("a_n1", {"speedup": 2.0})) + "\n" + '{"torn'
+        )
+        (entry,) = load_history(ledger)
+        assert entry["key"] == "a_n1"
+
+    def test_load_raises_on_torn_middle_line(self, tmp_path):
+        from benchmarks.history import load_history
+
+        ledger = tmp_path / "history.jsonl"
+        ledger.write_text(
+            "not json\n" + json.dumps(self._entry("a_n1", {"speedup": 2.0})) + "\n"
+        )
+        with pytest.raises(ValueError, match="malformed"):
+            load_history(ledger)
+
+    def test_best_speedups_keeps_max_per_key(self):
+        from benchmarks.history import best_speedups
+
+        entries = [
+            self._entry("a_n1", {"speedup": 2.0}),
+            self._entry("a_n1", {"speedup": 5.0}),
+            self._entry("a_n1", {"speedup": 3.0}),
+            self._entry("no_speedup", {"seconds": 1.0}),
+        ]
+        best = best_speedups(entries)
+        assert best == {"a_n1": {"speedup": 5.0}}
+
+    def test_best_speedups_expands_sweeps(self):
+        from benchmarks.history import best_speedups
+
+        entries = [
+            self._entry(
+                "kern",
+                {"sweep": [{"n_users": 10, "speedup": 2.0}, {"n_users": 20, "speedup": 4.0}]},
+            ),
+            self._entry(
+                "kern",
+                {"sweep": [{"n_users": 10, "speedup": 3.0}, {"n_users": 20, "speedup": 1.0}]},
+            ),
+        ]
+        best = best_speedups(entries)
+        assert best["kern@n=10"]["speedup"] == 3.0
+        assert best["kern@n=20"]["speedup"] == 4.0
+
+    def test_checked_in_ledger_has_records(self):
+        from benchmarks.history import HISTORY_PATH, best_speedups, load_history
+
+        entries = load_history(HISTORY_PATH)
+        assert entries, "benchmarks/results/history.jsonl must ship with >= 1 record"
+        assert best_speedups(entries)
+
+
+class TestHistoryMode:
+    """``compare_bench --history``: candidate vs best-in-history baseline."""
+
+    def _ledger(self, tmp_path, speedups):
+        from benchmarks.history import append_history
+
+        ledger = tmp_path / "history.jsonl"
+        for i, speedup in enumerate(speedups):
+            append_history(
+                {"bench_n10": {"benchmark": "bench", "n_users": 10, "speedup": speedup}},
+                ledger,
+                sha=f"sha{i}",
+                recorded_at="2026-01-01T00:00:00Z",
+            )
+        return ledger
+
+    def _dump(self, tmp_path, speedup):
+        path = tmp_path / "candidate.json"
+        path.write_text(json.dumps(dump({"bench_n10": {"speedup": speedup}})))
+        return str(path)
+
+    def test_ok_against_best_in_history(self, tmp_path, capsys):
+        ledger = self._ledger(tmp_path, [2.0, 5.0, 3.0])
+        candidate = self._dump(tmp_path, 4.5)  # 90% of best (5.0): within 0.8
+        assert main([candidate, "--history", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "best-in-history" in out
+
+    def test_regression_vs_best_exits_nonzero(self, tmp_path, capsys):
+        # Latest ledger entry (3.0) would pass, but the BEST (5.0) is the
+        # baseline: 3.5 < 0.8 * 5.0 must fail.
+        ledger = self._ledger(tmp_path, [2.0, 5.0, 3.0])
+        candidate = self._dump(tmp_path, 3.5)
+        assert main([candidate, "--history", str(ledger)]) == 1
+        assert "regression(s)" in capsys.readouterr().out
+
+    def test_history_rejects_two_dumps(self, tmp_path, capsys):
+        ledger = self._ledger(tmp_path, [2.0])
+        candidate = self._dump(tmp_path, 2.0)
+        with pytest.raises(SystemExit):
+            main([candidate, candidate, "--history", str(ledger)])
+
+    def test_two_dumps_required_without_history(self, tmp_path):
+        candidate = self._dump(tmp_path, 2.0)
+        with pytest.raises(SystemExit):
+            main([candidate])
