@@ -229,6 +229,100 @@ def run_single_bench(
     }
 
 
+def run_w_sweep_point(
+    n_users: int,
+    n_tasks: int,
+    seed: int,
+    users_per_task: float = 0.75,
+    max_workers: int | str | None = None,
+) -> dict:
+    """Time the pricing-lever ablation at one winner count.
+
+    Three configurations of :class:`BatchPricer` price every winner of the
+    same sparse instance (the scaling benchmark's generator), method
+    ``"threshold"``, vectorized kernel:
+
+    * ``baseline`` — ``gain_batch=1, early_exit=False``: the engine as it
+      shipped before the batched levers (the 493-winner record this PR's
+      ≥ 4× acceptance bar is measured against).
+    * ``batched`` — batched gain recomputes only, no early exit: the
+      batching lever in isolation.
+    * ``full`` — batching + the proven early-exit certificate + the
+      resolved worker fan-out: the defaults a mechanism run gets.
+
+    Exact (``==``) price parity between all three is asserted before any
+    timing is trusted; the per-lever seconds let the record show each
+    lever's individual win, and ``speedup`` is baseline over full.
+    """
+    from benchmarks.bench_scalability import make_sparse_multi
+
+    instance = make_sparse_multi(
+        n_users, n_tasks, seed=seed, users_per_task=users_per_task
+    )
+
+    def timed(**kwargs) -> tuple[float, dict[int, float], PerfCounters]:
+        counters = PerfCounters()
+        pricer = BatchPricer(
+            instance,
+            method="threshold",
+            counters=counters,
+            require_feasible=False,
+            **{k: v for k, v in kwargs.items() if k != "max_workers"},
+        )
+        start = time.perf_counter()
+        prices = pricer.price_all(max_workers=kwargs.get("max_workers"))
+        return time.perf_counter() - start, prices, counters
+
+    base_s, base_prices, _ = timed(gain_batch=1, early_exit=False, max_workers=1)
+    batched_s, batched_prices, _ = timed(early_exit=False, max_workers=1)
+    full_s, full_prices, full_counters = timed(max_workers=max_workers)
+    assert base_prices == batched_prices == full_prices, (
+        "pricing levers diverged from the baseline prices"
+    )
+    return {
+        "n_users": n_users,
+        "n_tasks": n_tasks,
+        "seed": seed,
+        "n_winners": len(full_prices),
+        "baseline_seconds": base_s,
+        "batched_seconds": batched_s,
+        "full_seconds": full_s,
+        "early_exits": full_counters.pricing_early_exits,
+        "exact_parity": True,
+        "speedup": base_s / full_s,
+    }
+
+
+def run_w_sweep(
+    points: list[tuple[int, int]] | None = None,
+    users_per_task: float = 0.75,
+    max_workers: int | str | None = None,
+) -> dict:
+    """The winner-count sweep record (one :func:`run_w_sweep_point` per size).
+
+    Default points reach ~50 / ~150 / 493 winners; the last is the
+    ``n=100k, t=1k`` headline instance from the scaling benchmark.  The
+    record's ``sweep`` shape is what :mod:`benchmarks.compare_bench`
+    expands into per-size pseudo-records (``…@n=<n_users>``) for the
+    history gate.
+    """
+    if points is None:
+        points = [(10_000, 100), (30_000, 300), (100_000, 1_000)]
+    sweep = [
+        run_w_sweep_point(
+            n, t, seed=4242 + n, users_per_task=users_per_task, max_workers=max_workers
+        )
+        for n, t in points
+    ]
+    return {
+        "benchmark": "pricing_w_sweep",
+        "n_users": max(n for n, _ in points),
+        "method": "threshold",
+        "users_per_task": users_per_task,
+        "sweep": sweep,
+    }
+
+
 def write_records(records: list[dict], path: Path = BENCH_PATH) -> dict:
     """Merge records into the JSON dump, keyed by benchmark name + sizes."""
     payload: dict = {"records": {}}
@@ -278,3 +372,30 @@ def test_pricing_speedups_full_size():
     assert single["speedup"] >= 2.0
     assert multi["counters"]["greedy_prefix_iterations_reused"] > 0
     assert single["counters"]["fptas_dp_cells_reused"] > 0
+
+
+@pytest.mark.perf
+def test_pricing_w_sweep_full_size():
+    """This PR's acceptance bar: the batched levers take the 493-winner
+    headline pricing ≥ 4× past the baseline engine, with the early-exit
+    lever showing an individual win at every sweep size."""
+    record = run_w_sweep()
+    payload = write_records([record])
+    from benchmarks.history import append_history
+
+    key = f"{record['benchmark']}_n{record['n_users']}"
+    append_history({key: payload["records"][key]})
+    for point in record["sweep"]:
+        print(
+            f"\nw-sweep n={point['n_users']} winners={point['n_winners']}: "
+            f"baseline {point['baseline_seconds']:.1f}s -> "
+            f"batched {point['batched_seconds']:.1f}s -> "
+            f"full {point['full_seconds']:.1f}s "
+            f"({point['speedup']:.2f}x, {point['early_exits']} early exits)"
+        )
+        # The early-exit certificate must win on top of batching alone.
+        assert point["full_seconds"] < point["batched_seconds"]
+        assert point["early_exits"] > 0
+    headline = record["sweep"][-1]
+    assert headline["n_winners"] == 493
+    assert headline["speedup"] >= 4.0

@@ -36,7 +36,13 @@ import sys
 import time
 from pathlib import Path
 
-from .core.kernels import ENV_KERNEL, KERNELS, resolve_kernel
+from .core.kernels import (
+    ENV_KERNEL,
+    ENV_PRICE_WORKERS,
+    KERNELS,
+    resolve_kernel,
+    resolve_price_workers,
+)
 from .obs import EventLog, RunManifest, Tracer, build_report, format_report, new_run_id
 from .obs.dashboard import watch_dashboard, write_dashboard
 from .obs.metrics import MetricsRegistry
@@ -90,6 +96,18 @@ QUICK_OVERRIDES = {
     },
     "ablation-smoothing": {"m_values": (3, 9)},
 }
+
+
+def _price_workers_argtype(value: str) -> str:
+    """argparse type for ``--price-workers``: reject typos at parse time
+    (mirroring how ``choices`` guards ``--kernel``)."""
+    from .core.errors import ValidationError
+
+    try:
+        resolve_price_workers(value)
+    except ValidationError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -160,6 +178,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="mechanism compute kernel (default: vectorized, or the "
         f"{ENV_KERNEL} environment variable); results are bit-identical",
     )
+    run.add_argument(
+        "--price-workers",
+        default=None,
+        type=_price_workers_argtype,
+        metavar="N|auto",
+        help="worker fan-out for the counterfactual pricing phase "
+        f"(default: auto, or the {ENV_PRICE_WORKERS} environment "
+        "variable); prices are bit-identical at any count",
+    )
 
     report = sub.add_parser(
         "report", help="reconstruct a run from its manifest + events.jsonl"
@@ -198,6 +225,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _price_workers_spec(args: argparse.Namespace) -> str:
+    """The pricing fan-out requested by this command, normalised for the
+    manifest: ``"auto"`` stays symbolic (the resolved count is a property of
+    the host, not of the run configuration), explicit counts stringify.
+    Raises :class:`ValidationError` on a typo, naming the source."""
+    spec = (
+        args.price_workers
+        if args.price_workers is not None
+        else os.environ.get(ENV_PRICE_WORKERS) or "auto"
+    )
+    resolved = resolve_price_workers(spec)
+    return "auto" if resolved.auto else str(resolved.count)
+
+
 def _open_resume(args: argparse.Namespace) -> tuple[str, Path, dict] | int:
     """Validate ``--resume`` and load the prior run's checkpoint.
 
@@ -223,6 +264,14 @@ def _open_resume(args: argparse.Namespace) -> tuple[str, Path, dict] | int:
         # the configuration it resumes under; pre-kernel manifests (no
         # "kernel" key) accept whatever resolves now.
         ("kernel", kernel, prior.config.get("kernel", kernel)),
+        # Same for pricing fan-out: bit-identical prices, but mixing worker
+        # configurations inside one run directory would misattribute its
+        # timing records.
+        (
+            "price_workers",
+            _price_workers_spec(args),
+            prior.config.get("price_workers", _price_workers_spec(args)),
+        ),
     ):
         if ours != theirs:
             mismatches.append(f"{label}: run has {theirs!r}, command asks {ours!r}")
@@ -245,6 +294,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # into the worker processes the parallel runner spawns.
         os.environ[ENV_KERNEL] = args.kernel
     kernel = resolve_kernel(args.kernel)
+    if args.price_workers is not None:
+        resolve_price_workers(args.price_workers)  # fail fast on a typo
+        os.environ[ENV_PRICE_WORKERS] = str(args.price_workers)
+    price_workers = _price_workers_spec(args)
     completed: dict = {}
     if args.resume is not None:
         if args.out_dir is not None:
@@ -277,6 +330,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "chunk_size": args.chunk_size,
             "resumed": args.resume is not None,
             "kernel": kernel,
+            "price_workers": price_workers,
         },
         events_file="events.jsonl",
     )

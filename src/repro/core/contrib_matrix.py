@@ -87,6 +87,7 @@ class ContributionMatrix:
         "vals",
         "_csc_indptr",
         "_csc_rows",
+        "_csc_vals",
         "_chunk_rows",
         "_buffers",
     )
@@ -131,12 +132,25 @@ class ContributionMatrix:
         row_ids = np.repeat(np.arange(n, dtype=np.int64), counts)
         order = np.argsort(self.cols, kind="stable")
         self._csc_rows = row_ids[order]
+        self._csc_vals = self.vals[order]
         self._csc_indptr = np.zeros(n_tasks + 1, dtype=np.int64)
         np.cumsum(np.bincount(self.cols, minlength=n_tasks), out=self._csc_indptr[1:])
 
         self._chunk_rows = max(1, scratch_cells // max(1, n_tasks))
         # Scratch buffers are per-thread so the batch pricer's thread
         # fan-out can share one matrix without locking.
+        self._buffers = threading.local()
+
+    def __getstate__(self) -> dict:
+        """Picklable snapshot (process-pool fan-out): everything but the
+        per-thread scratch, which each process recreates lazily."""
+        return {
+            name: getattr(self, name) for name in self.__slots__ if name != "_buffers"
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
         self._buffers = threading.local()
 
     def _scratch_bufs(self) -> tuple[np.ndarray, np.ndarray]:
@@ -165,6 +179,7 @@ class ContributionMatrix:
             + self.vals.nbytes
             + self._csc_indptr.nbytes
             + self._csc_rows.nbytes
+            + self._csc_vals.nbytes
             + 8 * (scratch_cells + self.n_cols)
         )
 
@@ -184,7 +199,17 @@ class ContributionMatrix:
         buf[self.cols[start:stop]] = self.vals[start:stop]
         return buf
 
-    def _clear_row_buf(self, row: int) -> None:
+    def clear_row_buf(self, row: int) -> None:
+        """Re-zero this thread's dense-row buffer after a :meth:`dense_row`.
+
+        :meth:`dense_row` scatters a row into a shared per-thread buffer
+        and hands out the buffer itself (no copy); callers that keep using
+        the buffer's thread afterwards — the greedy kernels subtract the
+        winner's row from the residual, then continue — must invalidate the
+        scattered entries before the next :meth:`dense_row`/:meth:`row_gain`
+        call on the same thread.  Clearing only the row's own columns keeps
+        this O(nnz of the row) instead of O(t).
+        """
         _, buf = self._scratch_bufs()
         start, stop = self.indptr[row], self.indptr[row + 1]
         buf[self.cols[start:stop]] = 0.0
@@ -194,7 +219,7 @@ class ContributionMatrix:
         ``np.minimum(contrib[row], residual).sum()`` (full-width reduce)."""
         buf = self.dense_row(row)
         gain = float(np.minimum(buf, residual).sum())
-        self._clear_row_buf(row)
+        self.clear_row_buf(row)
         return gain
 
     # ------------------------------------------------------------------ #
@@ -246,3 +271,32 @@ class ContributionMatrix:
         counts = self._csc_indptr[task_cols + 1] - starts
         idx = _flat_indices(starts, counts)
         return np.unique(self._csc_rows[idx])
+
+    def column_supply(
+        self, task_cols: np.ndarray, alive: np.ndarray, min_val: float = 0.0
+    ) -> np.ndarray:
+        """Per-column eligible supply: ``Σ vals`` over alive rows per column.
+
+        For each column ``j`` in ``task_cols``, sums the contributions
+        ``q_u^j`` of rows with ``alive[u]`` true and ``q_u^j > min_val``.
+        The batch pricer's early-exit certificate uses this to prove the
+        remaining replay can still satisfy every open task (see
+        :meth:`repro.perf.batch_pricer.BatchPricer` for the argument); the
+        sum is a plain accumulation, *not* part of the bit-parity contract —
+        it only feeds a conservative ``≥`` comparison.
+
+        Cost is O(nnz of the requested columns).
+        """
+        task_cols = np.asarray(task_cols, dtype=np.int64)
+        if task_cols.size == 0:
+            return np.empty(0)
+        starts = self._csc_indptr[task_cols]
+        counts = self._csc_indptr[task_cols + 1] - starts
+        idx = _flat_indices(starts, counts)
+        rows = self._csc_rows[idx]
+        vals = self._csc_vals[idx]
+        segment = np.repeat(np.arange(len(task_cols), dtype=np.int64), counts)
+        mask = alive[rows] & (vals > min_val)
+        return np.bincount(
+            segment[mask], weights=vals[mask], minlength=len(task_cols)
+        )

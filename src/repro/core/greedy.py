@@ -343,7 +343,7 @@ def _greedy_vectorized(
         changed = winner_cols[residual[winner_cols] > 0.0]
         winner_row = matrix.dense_row(best_row)
         residual = np.maximum(0.0, residual - winner_row)
-        matrix._clear_row_buf(best_row)
+        matrix.clear_row_buf(best_row)
 
         affected = matrix.rows_touching(changed)
         affected = affected[active[affected]]

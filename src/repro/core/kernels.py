@@ -21,11 +21,25 @@ processes spawned by the parallel experiment runner), then
 same way ``pricing="fast"`` was gated in PR 1: the property-test matrix in
 ``tests/perf/test_kernels_parity.py`` asserts bit-identical allocations,
 traces, and rewards.
+
+Pricing fan-out resolves through the same shape of chain
+(:func:`resolve_price_workers`): an explicit ``max_workers=`` argument >
+:func:`set_default_price_workers` (the CLI's ``--price-workers`` flag) >
+the ``REPRO_PRICE_WORKERS`` environment variable > ``"auto"`` (a
+cpu-count heuristic).  Any level may say ``"auto"``; the resolved spec
+records whether the worker count came from the heuristic, because the
+batch pricer only auto-engages fan-out on auctions large enough to
+amortise pool startup, while an explicitly requested count always fans
+out.  ``REPRO_PRICE_BACKEND`` (or the ``backend=`` argument) picks
+``"thread"`` (default — numpy releases the GIL on the wide reductions)
+or ``"process"`` (a picklable pricer snapshot per worker, for hosts
+where the GIL still binds at small ``t``).
 """
 
 from __future__ import annotations
 
 import os
+from typing import NamedTuple
 
 from .errors import ValidationError
 
@@ -35,6 +49,13 @@ __all__ = [
     "ENV_KERNEL",
     "resolve_kernel",
     "set_default_kernel",
+    "PRICE_BACKENDS",
+    "ENV_PRICE_WORKERS",
+    "ENV_PRICE_BACKEND",
+    "PriceWorkers",
+    "resolve_price_workers",
+    "set_default_price_workers",
+    "resolve_price_backend",
 ]
 
 #: The recognised kernel names.
@@ -82,3 +103,104 @@ def resolve_kernel(kernel: str | None = None) -> str:
     if env:
         return _validate(env, f"environment variable {ENV_KERNEL}")
     return DEFAULT_KERNEL
+
+
+# --------------------------------------------------------------------- #
+# Pricing fan-out resolution
+# --------------------------------------------------------------------- #
+
+#: Environment variable consulted by :func:`resolve_price_workers`;
+#: exported by the CLI so experiment worker processes inherit the choice.
+ENV_PRICE_WORKERS = "REPRO_PRICE_WORKERS"
+
+#: Environment variable consulted by :func:`resolve_price_backend`.
+ENV_PRICE_BACKEND = "REPRO_PRICE_BACKEND"
+
+#: The recognised pricing fan-out backends.
+PRICE_BACKENDS = ("thread", "process")
+
+#: Cap on the auto-sized worker count; beyond this the replays contend on
+#: memory bandwidth rather than compute.
+_AUTO_WORKER_CAP = 8
+
+_process_default_workers: int | str | None = None
+
+
+class PriceWorkers(NamedTuple):
+    """A resolved pricing fan-out spec.
+
+    ``count`` is the worker count to use (≥ 1).  ``auto`` records that the
+    count came from the cpu heuristic rather than an explicit request —
+    the batch pricer then keeps small auctions sequential (pool startup
+    would dominate) while always honouring an explicit count.
+    """
+
+    count: int
+    auto: bool
+
+
+def _validate_workers(workers: int | str, source: str) -> int | str:
+    if workers == "auto":
+        return workers
+    if isinstance(workers, str):
+        if not workers.lstrip("-").isdigit():
+            raise ValidationError(
+                f"invalid price workers {workers!r} from {source}; "
+                "expected a positive integer or 'auto'"
+            )
+        workers = int(workers)
+    if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+        raise ValidationError(
+            f"invalid price workers {workers!r} from {source}; "
+            "expected a positive integer or 'auto'"
+        )
+    return workers
+
+
+def set_default_price_workers(workers: int | str | None) -> None:
+    """Install (or with ``None`` clear) the process-wide fan-out default."""
+    global _process_default_workers
+    _process_default_workers = (
+        None
+        if workers is None
+        else _validate_workers(workers, "set_default_price_workers")
+    )
+
+
+def resolve_price_workers(workers: int | str | None = None) -> PriceWorkers:
+    """The pricing fan-out a call site should use.
+
+    Priority: explicit argument > :func:`set_default_price_workers` >
+    ``REPRO_PRICE_WORKERS`` environment variable > ``"auto"``.  The value
+    ``"auto"`` (at any level) resolves to ``min(cpu_count, 8)`` with
+    ``auto=True``; integers resolve to themselves with ``auto=False``.
+    Raises :class:`ValidationError` on anything else, naming the source.
+    """
+    if workers is not None:
+        spec = _validate_workers(workers, "argument")
+    elif _process_default_workers is not None:
+        spec = _process_default_workers
+    else:
+        env = os.environ.get(ENV_PRICE_WORKERS)
+        if env:
+            spec = _validate_workers(env, f"environment variable {ENV_PRICE_WORKERS}")
+        else:
+            spec = "auto"
+    if spec == "auto":
+        return PriceWorkers(max(1, min(os.cpu_count() or 1, _AUTO_WORKER_CAP)), True)
+    return PriceWorkers(int(spec), False)
+
+
+def resolve_price_backend(backend: str | None = None) -> str:
+    """The fan-out backend: argument > ``REPRO_PRICE_BACKEND`` > ``"thread"``."""
+    if backend is None:
+        backend = os.environ.get(ENV_PRICE_BACKEND) or "thread"
+        source = f"environment variable {ENV_PRICE_BACKEND}"
+    else:
+        source = "argument"
+    if backend not in PRICE_BACKENDS:
+        raise ValidationError(
+            f"unknown price backend {backend!r} from {source}; "
+            f"expected one of {PRICE_BACKENDS}"
+        )
+    return backend

@@ -130,15 +130,18 @@ class MultiTaskMechanism:
         self,
         instance: AuctionInstance,
         compute_rewards: bool = True,
-        max_workers: int | None = None,
+        max_workers: int | str | None = None,
         tracer=None,
     ) -> MultiTaskOutcome:
         """Run the full auction: allocation plus (optionally) reward contracts.
 
         ``compute_rewards=False`` skips the per-winner counterfactual greedy
         reruns (Algorithm 5); social-cost experiments use it.
-        ``max_workers`` opts the fast path into thread fan-out across
-        winners (ignored in ``"reference"`` pricing).  ``tracer`` (duck-typed
+        ``max_workers`` sets the fast path's pricing fan-out across winners
+        (an integer, ``"auto"``, or ``None`` to defer to
+        :func:`repro.core.kernels.resolve_price_workers`; ignored in
+        ``"reference"`` pricing).  Prices are bit-identical at any worker
+        count.  ``tracer`` (duck-typed
         :class:`repro.obs.tracing.Tracer`, default off) records the span
         hierarchy and the auction audit trail: per-iteration selection
         decisions, per-counterfactual replays, and the final EC contracts.

@@ -125,6 +125,22 @@ class Heartbeat:
         self.done = 0
         self.emitted = 0
 
+    def begin(self) -> None:
+        """Re-arm the rate/ETA base clock at the true start of the work loop.
+
+        A heartbeat is often constructed before the phase's setup finishes
+        — a worker pool spins up, a pricer snapshot is pickled to child
+        processes — and rating ``done`` units against the construction time
+        would understate throughput (and overstate ETA) for the whole
+        phase.  Producers call ``begin()`` immediately before dispatching
+        work; without it the construction time is the base, as before.
+        Units already recorded keep counting.
+        """
+        with self._lock:
+            now = self._clock()
+            self._started = now
+            self._last_emit_t = now
+
     def update(self, advance: int = 1, **attrs: Any) -> None:
         """Record ``advance`` finished units; emit if a threshold tripped."""
         with self._lock:

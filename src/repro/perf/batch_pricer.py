@@ -36,6 +36,64 @@ and per-row gains are bit-identical to the matrix row sums (same values,
 same within-row reduction order).  The pinning property tests
 (``tests/perf/test_batch_pricer.py``) cross-check the fast path against
 full reruns, including on hypothesis-generated adversarial instances.
+
+Three further levers stack on the lazy replay, each individually
+parity-gated (none of them moves a float the reference would produce):
+
+1. **Batched gain recomputes** — when the vectorized replay pops a stale
+   heap entry it gathers the run of stale entries behind it (up to
+   ``gain_batch``) and refreshes them through one
+   :meth:`ContributionMatrix.gains` scatter call instead of per-pop
+   scalar ``row_gain`` calls, then pushes the exact ratios back and
+   re-pops.  The selection certificate ("fresh ratio beats every other
+   bound by more than ε") is order-independent — it identifies the unique
+   ε-margin argmax no matter which rows were refreshed first — and the
+   within-ε case still falls back to the literal reference scan, so the
+   selected iterations are bit-identical; batching only changes how many
+   numpy calls the refreshes cost.
+
+2. **Multi-core fan-out** — :meth:`price_all` resolves its worker count
+   through :func:`repro.core.kernels.resolve_price_workers` (argument >
+   CLI/process default > ``REPRO_PRICE_WORKERS`` > cpu heuristic) and
+   fans winners out across threads (numpy releases the GIL in the wide
+   reductions) or, with ``backend="process"``, across a process pool fed
+   a picklable pricer snapshot.  Replays are independent, so any
+   partition of winners yields the same prices; per-worker
+   :class:`PerfCounters` merge back in deterministic order.
+
+3. **Sound early exit** (``method="threshold"`` only) — a replay may stop
+   before the residuals are satisfied once continuing provably cannot
+   change the price.  The criterion and its proof:
+
+   * *(a) the priced user's tasks are exhausted:* every column of user
+     ``i``'s bundle has replay residual exactly ``0.0`` (the update clamps
+     at zero and residuals never grow).  Every **omitted** iteration ``m``
+     would then carry ``residual_before`` with ``R_j = 0`` on all of
+     ``i``'s tasks, so ``_min_scale_for_gain`` has no positive rates and
+     returns ``None`` — unless its ``required_gain <= 1e-15`` fast path
+     fires, which condition (b) excludes.
+   * *(b) cost floor:* ``c_i · ε > 1e-15 · max_cost`` (ε = 1e-12).  Every
+     selected iteration has gain > ε and cost ≤ max_cost, so every omitted
+     candidate's ``required_gain = c_i · gain_m / c_m`` exceeds ``1e-15``
+     and the unsound corner cannot fire.  When the floor fails (a
+     pathologically cheap priced user), the exit stays off for that replay.
+   * *(c) satisfaction certificate:* for every still-open task ``j``
+     (``R_j > ε``), the eligible supply ``Σ {q_u^j : u alive, q_u^j > ε}``
+     covers ``R_j`` with a ``1e-9``-relative margin.  Any alive user with
+     ``q_u^j > ε`` on an open ``j`` has capped gain ``≥ min(q_u^j, R_j) >
+     ε`` (a full-width float sum of non-negatives cannot round below its
+     largest term), so the continued greedy can never stall while ``j`` is
+     open and contributors remain; once all of ``j``'s contributors are
+     selected, ``R_j ≤ R_j - supply_j + float drift < 0`` clamps to zero.
+     Hence the continuation terminates with ``satisfied=True`` — exactly
+     what the truncated replay reports.  When the certificate fails the
+     replay simply runs on (always sound).
+
+   Omitted iterations therefore contribute no candidate to the threshold
+   price and the ``satisfied`` flag is unchanged — the truncated trace
+   prices bit-identically.  ``method="paper"`` takes the min over *all*
+   iterations (every omitted iteration is a live candidate), so the exit
+   is structurally unsound there and the constructor refuses to enable it.
 """
 
 from __future__ import annotations
@@ -43,7 +101,7 @@ from __future__ import annotations
 import bisect
 import heapq
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 
 import numpy as np
 
@@ -56,7 +114,11 @@ from repro.core.greedy import (
     positive_residual_snapshot,
     select_best_row,
 )
-from repro.core.kernels import resolve_kernel
+from repro.core.kernels import (
+    resolve_kernel,
+    resolve_price_backend,
+    resolve_price_workers,
+)
 from repro.core.obshooks import emit as _emit
 from repro.core.obshooks import span as _span
 from repro.core.types import AuctionInstance
@@ -68,6 +130,38 @@ from .instrumentation import PerfCounters
 __all__ = ["BatchPricer"]
 
 _EPS = 1e-12
+
+#: Default number of stale heap entries refreshed per batched
+#: :meth:`ContributionMatrix.gains` call inside a replay.  ``1`` reproduces
+#: the per-pop scalar path (the PR 6 behaviour) for ablation benchmarks.
+DEFAULT_GAIN_BATCH = 64
+
+#: An auto-resolved (heuristic) worker count only engages fan-out when the
+#: auction has at least this many winners; below it, pool startup costs
+#: more than the replays.  An explicitly requested count always fans out.
+_AUTO_FANOUT_MIN_WINNERS = 32
+
+#: After a failed early-exit certificate, re-check only once this many
+#: further iterations have run (open tasks may since have closed, which can
+#: make a previously failing certificate pass).
+_EXIT_RECHECK_STRIDE = 32
+
+# Module-level worker state for the process backend: the initializer
+# installs one pricer snapshot per worker process, and chunks are priced
+# against it without re-pickling per task.
+_WORKER_PRICER: "BatchPricer | None" = None
+
+
+def _pool_init(pricer: "BatchPricer") -> None:
+    global _WORKER_PRICER
+    _WORKER_PRICER = pricer
+
+
+def _price_chunk(user_ids: list[int]) -> tuple[list[int], list[float], PerfCounters]:
+    counters = PerfCounters()
+    assert _WORKER_PRICER is not None, "process pool initializer did not run"
+    prices = [_WORKER_PRICER.price(uid, counters=counters) for uid in user_ids]
+    return user_ids, prices, counters
 
 
 class _ResidualView:
@@ -131,6 +225,18 @@ class BatchPricer:
             dense matrix and snapshot
             layout.  Traces and prices are bit-identical either way;
             ``None`` defers to :func:`repro.core.kernels.resolve_kernel`.
+        early_exit: Enable the proven replay-termination criterion (see
+            the module docstring).  ``None`` (default) enables it exactly
+            when it is sound: ``method="threshold"`` on the vectorized
+            kernel.  Passing ``True`` with ``method="paper"`` raises
+            :class:`ValidationError` — the paper method mins over *all*
+            iterations, so truncating the replay changes its price (and
+            the ``required_gain <= 1e-15`` pricing corner is reachable
+            post-coverage); there is no sound exit to enable.
+        gain_batch: How many stale heap entries a replay refreshes per
+            batched :meth:`ContributionMatrix.gains` call; ``1`` restores
+            the PR 6 per-pop scalar recompute (ablation baseline).
+            Bit-identical prices for any value.
     """
 
     def __init__(
@@ -141,11 +247,23 @@ class BatchPricer:
         require_feasible: bool = True,
         tracer=None,
         kernel: str | None = None,
+        early_exit: bool | None = None,
+        gain_batch: int = DEFAULT_GAIN_BATCH,
     ):
         if method not in ("threshold", "paper"):
             raise ValidationError(f"unknown critical-bid method {method!r}")
+        if early_exit and method == "paper":
+            raise ValidationError(
+                "early_exit is unsound for method='paper': Algorithm 5 takes "
+                "the minimum over all counterfactual iterations, so omitted "
+                "iterations are live price candidates"
+            )
+        if gain_batch < 1:
+            raise ValidationError(f"gain_batch must be >= 1, got {gain_batch!r}")
         self.instance = instance
         self.method = method
+        self.early_exit = method == "threshold" if early_exit is None else bool(early_exit)
+        self.gain_batch = int(gain_batch)
         self.counters = counters if counters is not None else PerfCounters()
         self.tracer = tracer
         self.kernel = resolve_kernel(kernel)
@@ -164,6 +282,9 @@ class BatchPricer:
                 for tid in user.pos:
                     self._contrib[row, task_index[tid]] = user.contribution(tid)
         self._costs = np.array([u.cost for u in users])
+        # Conservative bound for the early-exit cost floor: every
+        # counterfactual iteration's winner cost is ≤ this.
+        self._max_cost = float(self._costs.max()) if n else 0.0
         self._uids = [u.user_id for u in users]
         self._row_of = {u.user_id: row for row, u in enumerate(users)}
         self._initial_residual = np.array(
@@ -352,7 +473,7 @@ class BatchPricer:
             changed = winner_cols[residual[winner_cols] > 0.0]
             winner_row = matrix.dense_row(best_row)
             residual = np.maximum(0.0, residual - winner_row)
-            matrix._clear_row_buf(best_row)
+            matrix.clear_row_buf(best_row)
 
             affected = matrix.rows_touching(changed)
             affected = affected[active[affected]]
@@ -518,7 +639,24 @@ class BatchPricer:
         makes the certificate *more* conservative — never a wrong
         selection.
 
-        ``breakdown`` — see :meth:`_replay_without`; same three sections.
+        Stale entries are refreshed ``gain_batch`` at a time: the popped
+        stale row plus the run of stale entries at the heap top go through
+        one batched :meth:`ContributionMatrix.gains` call, re-enter the
+        heap at their exact ratios, and the loop re-pops.  Selection still
+        happens only through the ε-margin certificate or the reference
+        fallback scan, both of which are independent of refresh order, so
+        the replayed iterations do not change (see the module docstring,
+        lever 1).
+
+        When :attr:`early_exit` is on (``method="threshold"`` only), the
+        loop stops as soon as the priced user's tasks are all exactly
+        covered, the cost floor holds, and the satisfaction certificate
+        (:meth:`_exit_certificate`) proves the continuation would end
+        satisfied — the omitted iterations provably cannot contribute a
+        price candidate (module docstring, lever 3).
+
+        ``breakdown`` — see :meth:`_replay_without`; same three sections
+        plus ``exit_check`` (time spent evaluating the certificate).
         """
         clock = time.perf_counter if breakdown is not None else None
         residual = self._snapshots[start].copy()
@@ -541,6 +679,18 @@ class BatchPricer:
         iterations: list[GreedyIteration] = []
         executed = 0
         fallback = object()
+        gain_batch = self.gain_batch
+        # Early-exit arming: condition (b), the cost floor, is a per-replay
+        # constant — every omitted candidate's required_gain then clears
+        # the 1e-15 pricing corner (module docstring).
+        own_cols = matrix.row_cols(excluded_row)
+        exit_armed = (
+            self.early_exit
+            and own_cols.size > 0
+            and costs[excluded_row] * _EPS > 1e-15 * self._max_cost
+        )
+        own_covered = False
+        next_cert_at = 0
 
         while residual.max() > _EPS:
             executed += 1
@@ -553,6 +703,33 @@ class BatchPricer:
                     continue
                 if not clean[row]:
                     t0 = clock() if clock else 0.0
+                    if gain_batch > 1:
+                        # Gather the run of stale alive entries at the top
+                        # (dead ones are dropped in passing; a clean one
+                        # ends the run — it is already exact).
+                        batch = [row]
+                        while heap and len(batch) < gain_batch:
+                            r2 = heap[0][1]
+                            if not alive[r2]:
+                                heapq.heappop(heap)
+                            elif clean[r2]:
+                                break
+                            else:
+                                heapq.heappop(heap)
+                                batch.append(r2)
+                        rows_arr = np.asarray(batch, dtype=np.int64)
+                        fresh = matrix.gains(rows_arr, residual)
+                        cached_gain[rows_arr] = fresh
+                        clean[rows_arr] = True
+                        counters.greedy_rows_recomputed += len(batch)
+                        if clock:
+                            gain_seconds += clock() - t0
+                        # Re-enter at exact ratios; rows whose gain fell to
+                        # ≤ ε can never become eligible again.
+                        for r2, g in zip(batch, fresh):
+                            if g > _EPS:
+                                heapq.heappush(heap, (-g / costs[r2], r2))
+                        continue
                     cached_gain[row] = matrix.row_gain(row, residual)
                     if clock:
                         gain_seconds += clock() - t0
@@ -608,14 +785,49 @@ class BatchPricer:
             changed = winner_cols[residual[winner_cols] > 0.0]
             winner_row = matrix.dense_row(row)
             residual = np.maximum(0.0, residual - winner_row)
-            matrix._clear_row_buf(row)
+            matrix.clear_row_buf(row)
             if changed.size:
                 clean[matrix.rows_touching(changed)] = False
             if clock:
                 breakdown["residual_update"] += clock() - t0
+            if exit_armed:
+                if not own_covered:
+                    # Residuals clamp to exact 0.0 and never grow, so once
+                    # the priced user's columns read all-zero they stay so.
+                    own_covered = not residual[own_cols].any()
+                if own_covered and executed >= next_cert_at:
+                    t0 = clock() if clock else 0.0
+                    certified = self._exit_certificate(residual, alive)
+                    if clock:
+                        breakdown["exit_check"] += clock() - t0
+                    if certified:
+                        counters.pricing_early_exits += 1
+                        counters.greedy_iterations += executed
+                        return tuple(iterations), True
+                    next_cert_at = executed + _EXIT_RECHECK_STRIDE
 
         counters.greedy_iterations += executed
         return tuple(iterations), bool((residual <= _EPS).all())
+
+    def _exit_certificate(self, residual: np.ndarray, alive: np.ndarray) -> bool:
+        """Condition (c) of the early exit: can the continuation still
+        satisfy every open task?
+
+        Open tasks are those with ``R_j > ε`` (tasks at or below ε already
+        count as satisfied by the trace's own criterion).  Requiring the
+        eligible supply to clear ``R_j`` with a relative margin keeps the
+        certificate conservative against the float drift of the
+        continuation's clamped subtractions (bounded by machine epsilon
+        per contributor — the 1e-9 margin dwarfs it).  Returns ``False``
+        when nothing is open: the loop is about to terminate naturally,
+        so claiming an "early" exit would only skew the counters.
+        """
+        open_cols = np.flatnonzero(residual > _EPS)
+        if open_cols.size == 0:
+            return False
+        supply = self._matrix.column_supply(open_cols, alive, min_val=_EPS)
+        need = residual[open_cols]
+        return bool(np.all(supply >= need + 1e-9 * np.maximum(1.0, supply)))
 
     # ------------------------------------------------------------------ #
     # Pricing
@@ -634,7 +846,12 @@ class BatchPricer:
             # Audit mode only: split the replay's self time into named
             # parts for the profiler (one point event, no per-part spans).
             breakdown = (
-                {"gain_recompute": 0.0, "heap_maintenance": 0.0, "residual_update": 0.0}
+                {
+                    "gain_recompute": 0.0,
+                    "heap_maintenance": 0.0,
+                    "residual_update": 0.0,
+                    "exit_check": 0.0,
+                }
                 if self.tracer is not None
                 else None
             )
@@ -673,23 +890,58 @@ class BatchPricer:
         )
         return price
 
-    def price_all(self, max_workers: int | None = None) -> dict[int, float]:
+    def __getstate__(self) -> dict:
+        """Picklable snapshot for the process fan-out backend.
+
+        Tracers are process-local (dropping one only silences worker-side
+        audit events — the parent keeps tracing dispatch and progress),
+        and the shared counters are replaced by a fresh set because worker
+        chunks report their counts back explicitly.
+        """
+        state = self.__dict__.copy()
+        state["tracer"] = None
+        state["counters"] = PerfCounters()
+        return state
+
+    def price_all(
+        self,
+        max_workers: int | str | None = None,
+        backend: str | None = None,
+    ) -> dict[int, float]:
         """Critical bids for every winner, in selection order.
 
         When a tracer is attached, a throttled ``pricing.progress``
         heartbeat reports done/total, rate, and ETA across the phase —
         this loop is the O(W²) bottleneck at benchmark sizes, and without
         the heartbeat it is a minutes-long silent stall in the event
-        stream.
+        stream.  The heartbeat's rate/ETA base clock is re-armed once the
+        worker pool is ready (``Heartbeat.begin``), so the reported rate is
+        the pricing phase's own throughput, not diluted by pool startup.
 
         Args:
-            max_workers: Opt-in thread fan-out across winners (``None`` or
-                ``<= 1`` prices sequentially).  Workers accumulate into
-                private counter sets merged back at the end, so the shared
-                counters stay consistent (``Heartbeat.update`` is itself
-                thread-safe).
+            max_workers: Fan-out across winners.  ``None`` defers to
+                :func:`repro.core.kernels.resolve_price_workers` (CLI
+                ``--price-workers`` > ``REPRO_PRICE_WORKERS`` > a cpu-count
+                heuristic); an int or ``"auto"`` overrides.  A
+                heuristic-resolved count only engages for auctions with at
+                least ``32`` winners — pool startup dominates below that —
+                while an explicitly requested count always fans out.
+                Replays are independent and workers accumulate into
+                private counter sets merged back deterministically, so
+                prices *and* merged counter totals are identical to a
+                sequential run for every worker count.
+            backend: ``"thread"`` (default; numpy releases the GIL in the
+                wide reductions) or ``"process"`` (pickled pricer snapshot
+                per worker — for hosts where the GIL still binds at small
+                ``t``); ``None`` defers to
+                :func:`repro.core.kernels.resolve_price_backend`.
         """
         winners = self.trace.selected
+        spec = resolve_price_workers(max_workers)
+        workers = spec.count
+        if spec.auto and len(winners) < _AUTO_FANOUT_MIN_WINNERS:
+            workers = 1
+        workers = min(workers, len(winners)) if winners else 1
         beat = (
             Heartbeat(
                 "pricing",
@@ -700,7 +952,9 @@ class BatchPricer:
             if self.tracer is not None and winners
             else None
         )
-        if max_workers is None or max_workers <= 1 or len(winners) < 2:
+        if workers <= 1:
+            if beat is not None:
+                beat.begin()
             prices = {}
             for uid in winners:
                 prices[uid] = self.price(uid)
@@ -710,6 +964,9 @@ class BatchPricer:
                 beat.finish()
             return prices
 
+        if resolve_price_backend(backend) == "process":
+            return self._price_all_process(winners, workers, beat)
+
         def _price_one(pair: tuple[int, PerfCounters]) -> float:
             result = self.price(pair[0], counters=pair[1])
             if beat is not None:
@@ -717,10 +974,52 @@ class BatchPricer:
             return result
 
         worker_counters = [PerfCounters() for _ in winners]
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            if beat is not None:
+                beat.begin()
             prices_list = list(pool.map(_price_one, zip(winners, worker_counters)))
         for wc in worker_counters:
             self.counters.merge(wc)
         if beat is not None:
             beat.finish()
         return dict(zip(winners, prices_list))
+
+    def _price_all_process(
+        self, winners: tuple[int, ...], workers: int, beat: Heartbeat | None
+    ) -> dict[int, float]:
+        """Process-pool fan-out: chunked dispatch against pickled snapshots.
+
+        Each worker process receives one pricer snapshot through the pool
+        initializer (pickled once per worker, not per chunk) and prices
+        chunks of winners against it.  Chunk counters merge back in
+        submission order, so the totals match a sequential run; the
+        returned dict is re-keyed in selection order regardless of chunk
+        completion order.
+        """
+        per_worker = workers * 4  # ~4 chunks per worker evens out skew
+        chunk_size = max(1, (len(winners) + per_worker - 1) // per_worker)
+        chunks = [
+            list(winners[lo : lo + chunk_size])
+            for lo in range(0, len(winners), chunk_size)
+        ]
+        prices: dict[int, float] = {}
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_pool_init, initargs=(self,)
+        ) as pool:
+            if beat is not None:
+                beat.begin()
+            futures = [pool.submit(_price_chunk, chunk) for chunk in chunks]
+            collected: list[PerfCounters | None] = [None] * len(futures)
+            index_of = {fut: k for k, fut in enumerate(futures)}
+            for fut in as_completed(futures):
+                uids, chunk_prices, chunk_counters = fut.result()
+                prices.update(zip(uids, chunk_prices))
+                collected[index_of[fut]] = chunk_counters
+                if beat is not None:
+                    beat.update(advance=len(uids))
+        for chunk_counters in collected:
+            if chunk_counters is not None:
+                self.counters.merge(chunk_counters)
+        if beat is not None:
+            beat.finish()
+        return {uid: prices[uid] for uid in winners}

@@ -51,6 +51,11 @@ class PerfCounters:
         fptas_frontier_states: Surviving Pareto-frontier states summed over
             layers (the vectorized DP's footprint; compare against
             ``fptas_dp_cells`` to see the pruning ratio).
+        pricing_early_exits: Counterfactual replays terminated by the
+            proven early-exit certificate (``method="threshold"`` only —
+            the replay's remaining iterations were shown to be incapable of
+            changing the price; see
+            :class:`repro.perf.batch_pricer.BatchPricer`).
         stage_seconds: Wall-clock per named stage (e.g.
             ``winner_determination``, ``reward_determination``).
     """
@@ -66,6 +71,7 @@ class PerfCounters:
     wins_cache_hits: int = 0
     greedy_rows_recomputed: int = 0
     fptas_frontier_states: int = 0
+    pricing_early_exits: int = 0
     stage_seconds: dict[str, float] = field(default_factory=dict)
 
     @contextmanager

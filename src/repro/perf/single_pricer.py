@@ -22,6 +22,16 @@ redundant work between them:
   first probe and every later probe resumes from it, re-running only layers
   ``r..k-1``.  This is the knapsack analogue of the greedy prefix replay in
   :class:`repro.perf.batch_pricer.BatchPricer`.
+* **Cross-winner prefix batching** — those prefix layers are *user-
+  independent* (they carry original contributions only: the probed user
+  sits at layer ``r``, above every snapshotted layer), so a snapshot taken
+  at layer ``m`` remains valid for any later-priced user of rank ``r' ≥
+  m``.  :meth:`SingleTaskPricer.price_all` therefore prices winners in
+  ascending rank order and each user's first probe *resumes* the previous
+  user's snapshots, advancing them ``m → r'`` instead of recomputing
+  layers ``0..m`` — the memoized probes batch across winners, not just
+  across one winner's bisection.  Splitting a layer run at ``m`` performs
+  the identical per-layer float operations, so probes stay bit-identical.
 * **Scaled-cost cache** — the integer cost vectors ``⌊c_j/μ_k⌋`` depend
   only on costs and ε; computed once per ``k``.
 
@@ -135,12 +145,17 @@ class SingleTaskPricer:
         self._static_cells: dict[int, int] = {}
         self._original_selected: frozenset[int] | None = None
 
-        # Per-priced-user prefix state.  Snapshots are (value row, decision
-        # bits) pairs under the reference kernel, FrontierState copies under
-        # the vectorized one.
+        # Prefix snapshots, shared across priced users.  Each entry maps a
+        # subproblem size ``k`` to ``(layer, cells, state)``: the DP state
+        # after item layers ``[0, layer)`` — all carrying *original*
+        # contributions, hence user-independent — its budget charge, and
+        # the state itself ((value row, decision bits) under the reference
+        # kernel, a FrontierState copy under the vectorized one).
         self._snapshot_budget = snapshot_cells
         self._prefix_user: int | None = None
-        self._prefix: dict[int, tuple[np.ndarray, np.ndarray] | FrontierState] = {}
+        self._prefix: dict[
+            int, tuple[int, int, tuple[np.ndarray, np.ndarray] | FrontierState]
+        ] = {}
         self._prefix_cells = 0
         self._win_bound = math.inf
         self._loss_bound = -math.inf
@@ -187,7 +202,7 @@ class SingleTaskPricer:
             _dp_rows(best, take, ints, contribs, 0, rank, counters=self.counters)
             cells = k * (c_max + 1)
             if self._prefix_cells + cells <= self._snapshot_budget:
-                self._prefix[k] = (best.copy(), take)
+                self._prefix[k] = (rank, cells, (best.copy(), take))
                 self._prefix_cells += cells
             _dp_rows(best, take, ints, contribs, rank, k, counters=self.counters)
         else:
@@ -208,7 +223,7 @@ class SingleTaskPricer:
             )
             cells = state.size_cells
             if self._prefix_cells + cells <= self._snapshot_budget:
-                self._prefix[k] = state.copy()
+                self._prefix[k] = (rank, cells, state.copy())
                 self._prefix_cells += cells
             frontier_rows(
                 state, ints, contribs, rank, k,
@@ -224,15 +239,37 @@ class SingleTaskPricer:
     def _solve_dynamic(
         self, k: int, contribs: np.ndarray, rank: int
     ) -> tuple[frozenset[int], int] | None:
-        """Subproblem ``k > rank``: resume from the prefix snapshot if present."""
-        state = self._prefix.get(k)
-        if state is None:
+        """Subproblem ``k > rank``: resume from the prefix snapshot if present.
+
+        The snapshot's layer ``m`` satisfies ``m <= rank`` (deeper snapshots
+        were dropped by :meth:`_reset_user`).  When ``m < rank`` — the first
+        probe of a later-ranked user resuming a predecessor's snapshot —
+        layers ``[m, rank)`` carry original contributions only, so the
+        advance ``m → rank`` performs exactly the per-layer operations a
+        fresh run would, the snapshot is replaced at ``rank``, and the probe
+        continues ``rank → k``: bit-identical to an uninterrupted run.
+        """
+        entry = self._prefix.get(k)
+        if entry is None:
             return self._solve_fresh(k, contribs, rank)
+        layer, cells, state = entry
         ints, c_max = self._scaled(k)
         self.counters.fptas_subproblems += 1
         if self.kernel == "vectorized":
             resumed = state.copy()
             self.counters.fptas_dp_cells_reused += resumed.cells
+            if layer < rank:
+                frontier_rows(
+                    resumed, ints, contribs, layer, rank,
+                    max_cells=MAX_DP_CELLS, counters=self.counters,
+                )
+                new_cells = resumed.size_cells
+                if self._prefix_cells - cells + new_cells <= self._snapshot_budget:
+                    self._prefix[k] = (rank, new_cells, resumed.copy())
+                    self._prefix_cells += new_cells - cells
+                else:
+                    del self._prefix[k]
+                    self._prefix_cells -= cells
             frontier_rows(
                 resumed, ints, contribs, rank, k,
                 max_cells=MAX_DP_CELLS, counters=self.counters,
@@ -240,7 +277,13 @@ class SingleTaskPricer:
             return frontier_answer(resumed, self.instance.requirement, _EPS)
         prefix_best, take = state
         best = prefix_best.copy()
-        self.counters.fptas_dp_cells_reused += rank * (c_max + 1)
+        self.counters.fptas_dp_cells_reused += layer * (c_max + 1)
+        if layer < rank:
+            # Advance the shared snapshot to the new user's rank; the take
+            # rows [layer, rank) are rewritten with the same values a fresh
+            # run would produce (original contributions below rank).
+            _dp_rows(best, take, ints, contribs, layer, rank, counters=self.counters)
+            self._prefix[k] = (rank, cells, (best.copy(), take))
         # Layers [rank, k) are rewritten in full below; layers [0, rank)
         # keep their decision bits from the snapshot run.
         _dp_rows(best, take, ints, contribs, rank, k, counters=self.counters)
@@ -310,11 +353,17 @@ class SingleTaskPricer:
     # Memoized monotone search
     # ------------------------------------------------------------------ #
 
-    def _reset_user(self, user_id: int) -> None:
+    def _reset_user(self, user_id: int, rank: int) -> None:
         if self._prefix_user != user_id:
             self._prefix_user = user_id
-            self._prefix = {}
-            self._prefix_cells = 0
+            # Prefix layers carry original contributions only, so snapshots
+            # at a layer <= the new user's rank stay valid (and are advanced
+            # in place by _solve_dynamic); deeper snapshots include layer
+            # ``rank`` itself, which the new user's probes modify, so drop.
+            stale = [k for k, (layer, _, _) in self._prefix.items() if layer > rank]
+            for k in stale:
+                self._prefix_cells -= self._prefix[k][1]
+                del self._prefix[k]
             self._win_bound = math.inf
             self._loss_bound = -math.inf
 
@@ -388,8 +437,8 @@ class SingleTaskPricer:
                     )
 
     def _critical_inner(self, user_id: int) -> float:
-        self._reset_user(user_id)
         rank = self._rank_of[user_id]
+        self._reset_user(user_id, rank)
         declared = self.instance.contributions[self.instance.index_of(user_id)]
         if not self._wins(user_id, rank, declared):
             raise CriticalBidError(
@@ -410,8 +459,15 @@ class SingleTaskPricer:
         return high
 
     def price_all(self, user_ids) -> dict[int, float]:
-        """Critical contributions for a set of winners, in ascending id order
-        (the order :class:`repro.core.single_task.SingleTaskMechanism` uses).
+        """Critical contributions for a set of winners, keyed in ascending id
+        order (the order :class:`repro.core.single_task.SingleTaskMechanism`
+        uses).
+
+        Internally winners are priced in ascending *rank* order (by ``(cost,
+        user_id)``) so each user's first probe resumes — and advances — the
+        previous user's prefix snapshots instead of rebuilding them from
+        layer zero (see the class docstring).  Pricing order cannot change
+        any price: every probe is bit-identical to an uninterrupted run.
 
         With a tracer attached, a throttled ``pricing.progress`` heartbeat
         reports done/total/rate/ETA across the winners.
@@ -427,14 +483,16 @@ class SingleTaskPricer:
             if self.tracer is not None and ordered
             else None
         )
-        prices = {}
-        for uid in ordered:
-            prices[uid] = self.critical(uid)
+        if beat is not None:
+            beat.begin()
+        computed = {}
+        for uid in sorted(ordered, key=lambda u: self._rank_of[u]):
+            computed[uid] = self.critical(uid)
             if beat is not None:
                 beat.update()
         if beat is not None:
             beat.finish()
-        return prices
+        return {uid: computed[uid] for uid in ordered}
 
 
 def critical_contribution_single_fast(

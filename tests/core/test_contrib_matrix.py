@@ -35,7 +35,7 @@ def test_values_are_the_reference_contribution_floats(rng):
     matrix, dense, users = _build(rng)
     for row in range(len(users)):
         np.testing.assert_array_equal(matrix.dense_row(row), dense[row])
-        matrix._clear_row_buf(row)
+        matrix.clear_row_buf(row)
     assert matrix.nnz == int((dense > 0).sum())
 
 

@@ -15,18 +15,28 @@ from repro.core.errors import ValidationError
 from repro.core.kernels import (
     DEFAULT_KERNEL,
     ENV_KERNEL,
+    ENV_PRICE_BACKEND,
+    ENV_PRICE_WORKERS,
     KERNELS,
+    PriceWorkers,
     resolve_kernel,
+    resolve_price_backend,
+    resolve_price_workers,
     set_default_kernel,
+    set_default_price_workers,
 )
 
 
 @pytest.fixture(autouse=True)
 def _clean_kernel_state(monkeypatch):
     monkeypatch.delenv(ENV_KERNEL, raising=False)
+    monkeypatch.delenv(ENV_PRICE_WORKERS, raising=False)
+    monkeypatch.delenv(ENV_PRICE_BACKEND, raising=False)
     set_default_kernel(None)
+    set_default_price_workers(None)
     yield
     set_default_kernel(None)
+    set_default_price_workers(None)
 
 
 def test_default_is_vectorized():
@@ -84,3 +94,76 @@ def test_unknown_environment_kernel_names_the_variable(monkeypatch):
 def test_known_kernels_resolve_to_themselves():
     for kernel in KERNELS:
         assert resolve_kernel(kernel) == kernel
+
+
+class TestPriceWorkers:
+    """The pricing fan-out chain mirrors the kernel chain shape."""
+
+    def test_default_is_auto_capped_cpu_count(self):
+        spec = resolve_price_workers()
+        assert spec.auto is True
+        assert 1 <= spec.count <= 8
+
+    def test_explicit_argument_wins_over_everything(self, monkeypatch):
+        monkeypatch.setenv(ENV_PRICE_WORKERS, "3")
+        set_default_price_workers(5)
+        assert resolve_price_workers(2) == PriceWorkers(2, False)
+
+    def test_process_default_wins_over_environment(self, monkeypatch):
+        monkeypatch.setenv(ENV_PRICE_WORKERS, "3")
+        set_default_price_workers(5)
+        assert resolve_price_workers() == PriceWorkers(5, False)
+
+    def test_environment_wins_over_auto(self, monkeypatch):
+        monkeypatch.setenv(ENV_PRICE_WORKERS, "3")
+        assert resolve_price_workers() == PriceWorkers(3, False)
+
+    def test_string_counts_accepted_anywhere(self, monkeypatch):
+        # The CLI and environment both hand over strings.
+        assert resolve_price_workers("4") == PriceWorkers(4, False)
+        set_default_price_workers("6")
+        assert resolve_price_workers() == PriceWorkers(6, False)
+
+    def test_auto_at_any_level_resolves_to_heuristic(self, monkeypatch):
+        monkeypatch.setenv(ENV_PRICE_WORKERS, "auto")
+        assert resolve_price_workers().auto is True
+        assert resolve_price_workers("auto").auto is True
+
+    def test_empty_environment_value_falls_through(self, monkeypatch):
+        monkeypatch.setenv(ENV_PRICE_WORKERS, "")
+        assert resolve_price_workers().auto is True
+
+    @pytest.mark.parametrize("bad", ["fast", "0", "-2", 0, -1, 2.5, True])
+    def test_invalid_workers_rejected_naming_source(self, bad):
+        with pytest.raises(ValidationError, match="argument"):
+            resolve_price_workers(bad)
+
+    def test_invalid_environment_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(ENV_PRICE_WORKERS, "many")
+        with pytest.raises(ValidationError, match=ENV_PRICE_WORKERS):
+            resolve_price_workers()
+
+    def test_set_default_clears_with_none(self):
+        set_default_price_workers(4)
+        set_default_price_workers(None)
+        assert resolve_price_workers().auto is True
+
+
+class TestPriceBackend:
+    def test_default_is_thread(self):
+        assert resolve_price_backend() == "thread"
+
+    def test_argument_wins_over_environment(self, monkeypatch):
+        monkeypatch.setenv(ENV_PRICE_BACKEND, "process")
+        assert resolve_price_backend("thread") == "thread"
+
+    def test_environment_wins_over_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_PRICE_BACKEND, "process")
+        assert resolve_price_backend() == "process"
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        with pytest.raises(ValidationError, match="argument"):
+            resolve_price_backend("greenlet")
+        monkeypatch.setenv(ENV_PRICE_BACKEND, "greenlet")
+        with pytest.raises(ValidationError, match=ENV_PRICE_BACKEND):
+            resolve_price_backend()

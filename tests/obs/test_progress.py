@@ -47,6 +47,33 @@ class TestHeartbeat:
         assert event["eta_seconds"] == pytest.approx(0.05)
         assert "final" not in event
 
+    def test_begin_rearms_rate_base_after_setup(self):
+        """Rate/ETA must meter the work loop, not pool/pickling setup that
+        happens between construction and the first dispatched unit."""
+        tracer = Tracer()
+        clock = FakeClock()
+        beat = Heartbeat("pricing", total=20, tracer=tracer, every_n=10, clock=clock)
+        clock.advance(100.0)  # expensive setup: worker pool, pickled snapshots
+        beat.begin()
+        clock.advance(10.0)
+        beat.update(advance=10)
+        (event,) = progress_events(tracer)
+        # 10 units in the 10 seconds since begin() — not in 110 seconds.
+        assert event["rate"] == pytest.approx(1.0)
+        assert event["eta_seconds"] == pytest.approx(10.0)
+        assert event["elapsed_seconds"] == pytest.approx(10.0)
+
+    def test_begin_does_not_reset_done_units(self):
+        tracer = Tracer()
+        clock = FakeClock()
+        beat = Heartbeat("pricing", total=4, tracer=tracer, every_n=100, clock=clock)
+        beat.update()
+        beat.begin()
+        clock.advance(1.0)
+        beat.finish()
+        (event,) = progress_events(tracer)
+        assert event["done"] == 1
+
     def test_emits_on_elapsed_time_even_without_units(self):
         tracer = Tracer()
         clock = FakeClock()

@@ -9,6 +9,8 @@ methods.
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -16,6 +18,7 @@ from hypothesis import given, settings
 from repro.core.critical import critical_contribution_multi
 from repro.core.errors import ValidationError
 from repro.core.greedy import greedy_allocation
+from repro.core.types import AuctionInstance, Task, UserType
 from repro.perf import BatchPricer, PerfCounters
 from repro.perf.batch_pricer import _ResidualView
 
@@ -86,9 +89,175 @@ def test_parallel_price_all_matches_sequential(rng):
     assert counters.counterfactual_runs == len(pricer.trace.selected)
 
 
+@settings(deadline=None, max_examples=10)
+@given(instance=multi_task_instances(min_users=3))
+@pytest.mark.parametrize("workers", [2, 4])
+@pytest.mark.parametrize("method", ["threshold", "paper"])
+@pytest.mark.parametrize("kernel", ["vectorized", "reference"])
+def test_fanout_parity_across_methods_and_kernels(instance, workers, method, kernel):
+    """Explicit worker counts return the sequential dict, bit for bit, for
+    every kernel × method combination."""
+    pricer = BatchPricer(instance, method=method, kernel=kernel, require_feasible=False)
+    sequential = pricer.price_all(max_workers=1)
+    fanned = BatchPricer(
+        instance, method=method, kernel=kernel, require_feasible=False
+    ).price_all(max_workers=workers)
+    assert fanned == sequential
+
+
+def test_fanout_counters_merge_to_sequential_totals(rng):
+    """Per-worker counters fold back into the shared instance: every count
+    equals the sequential run's (stage timers are wall clock and excluded)."""
+    instance = make_random_multi_task(rng, n_users=30, n_tasks=5)
+    seq_counters = PerfCounters()
+    BatchPricer(instance, counters=seq_counters, require_feasible=False).price_all(
+        max_workers=1
+    )
+    par_counters = PerfCounters()
+    BatchPricer(instance, counters=par_counters, require_feasible=False).price_all(
+        max_workers=3
+    )
+    for f in dataclasses.fields(PerfCounters):
+        if f.name != "stage_seconds":
+            assert getattr(par_counters, f.name) == getattr(seq_counters, f.name), f.name
+
+
+def test_process_backend_parity(rng):
+    instance = make_random_multi_task(rng, n_users=20, n_tasks=4)
+    pricer = BatchPricer(instance, require_feasible=False)
+    sequential = pricer.price_all(max_workers=1)
+    counters = PerfCounters()
+    spawned = BatchPricer(instance, counters=counters, require_feasible=False)
+    assert spawned.price_all(max_workers=2, backend="process") == sequential
+    # Chunk counters travel back over the pipe and merge.
+    assert counters.counterfactual_runs == len(pricer.trace.selected)
+
+
+def test_auto_spec_keeps_small_auctions_sequential(rng, monkeypatch):
+    """An auto-resolved count must not pay pool startup on a toy auction
+    (far below the 32-winner fan-out floor); an explicit count — here via
+    the environment — always fans out."""
+    from repro.perf import batch_pricer as bp
+
+    instance = make_random_multi_task(rng, n_users=15, n_tasks=3)
+    pools: list[int | None] = []
+    real_pool = bp.ThreadPoolExecutor
+
+    class SpyPool(real_pool):
+        def __init__(self, max_workers=None, **kwargs):
+            pools.append(max_workers)
+            super().__init__(max_workers=max_workers, **kwargs)
+
+    monkeypatch.setattr(bp, "ThreadPoolExecutor", SpyPool)
+    monkeypatch.setenv("REPRO_PRICE_WORKERS", "2")
+    explicit_pricer = BatchPricer(instance, require_feasible=False)
+    assert len(explicit_pricer.trace.selected) >= 2  # else workers clamp to 1
+    explicit = explicit_pricer.price_all()
+    assert pools == [2]
+    pools.clear()
+    monkeypatch.setenv("REPRO_PRICE_WORKERS", "auto")
+    auto = BatchPricer(instance, require_feasible=False).price_all()
+    assert pools == []
+    assert auto == explicit
+
+
 def test_rejects_unknown_method(small_multi_task):
     with pytest.raises(ValidationError):
         BatchPricer(small_multi_task, method="bogus")
+
+
+def test_rejects_invalid_gain_batch(small_multi_task):
+    with pytest.raises(ValidationError):
+        BatchPricer(small_multi_task, gain_batch=0)
+
+
+def test_rejects_early_exit_for_paper_method(small_multi_task):
+    with pytest.raises(ValidationError, match="unsound"):
+        BatchPricer(small_multi_task, method="paper", early_exit=True)
+
+
+def test_paper_method_never_takes_the_exit_path(rng):
+    instance = make_random_multi_task(rng, n_users=30, n_tasks=5)
+    counters = PerfCounters()
+    pricer = BatchPricer(
+        instance, method="paper", counters=counters, require_feasible=False
+    )
+    assert pricer.early_exit is False
+    pricer.price_all()
+    assert counters.pricing_early_exits == 0
+
+
+def test_early_exit_fires_and_keeps_parity(rng):
+    """On a winners-heavy instance the certificate fires, and prices still
+    equal both the unexited engine and the reference loop."""
+    instance = make_random_multi_task(rng, n_users=40, n_tasks=5)
+    counters = PerfCounters()
+    pricer = BatchPricer(instance, counters=counters, require_feasible=False)
+    exited = pricer.price_all()
+    plain = BatchPricer(instance, early_exit=False, require_feasible=False).price_all()
+    assert exited == plain
+    for uid in list(pricer.trace.selected)[:5]:
+        assert exited[uid] == critical_contribution_multi(instance, uid, "threshold")
+
+
+def test_scalar_gain_path_parity(rng):
+    """gain_batch=1 keeps the pre-batching scalar recompute path alive and
+    bit-identical (it is the W-sweep benchmark's baseline configuration)."""
+    instance = make_random_multi_task(rng, n_users=30, n_tasks=5)
+    batched = BatchPricer(instance, require_feasible=False).price_all()
+    scalar = BatchPricer(instance, gain_batch=1, require_feasible=False).price_all()
+    assert scalar == batched
+
+
+def test_tiny_cost_winner_disarms_exit_but_keeps_parity():
+    """The 1e-15 corner of ``_min_scale_for_gain``: a priced winner whose
+    cost is tiny relative to the max cost could make an omitted iteration's
+    ``required_gain`` vanish, where the threshold scan returns 0.0 rather
+    than None — so the cost floor must disarm the certificate for that
+    winner, and prices must still match the reference."""
+    tasks = [Task(0, 0.9), Task(1, 0.8)]
+    users = [
+        UserType(0, cost=1e-5, pos={0: 0.6, 1: 0.5}),
+        UserType(1, cost=1.0, pos={0: 0.7}),
+        UserType(2, cost=1.2, pos={1: 0.7}),
+        UserType(3, cost=2.0, pos={0: 0.5, 1: 0.4}),
+    ]
+    instance = AuctionInstance(tasks, users)
+    pricer = BatchPricer(instance, require_feasible=False)
+    prices = pricer.price_all()
+    # cost floor: 1e-5 * 1e-12 <= 1e-15 * 2.0, so user 0 must not arm.
+    assert pricer.early_exit is True
+    for uid in pricer.trace.selected:
+        assert prices[uid] == critical_contribution_multi(instance, uid, "threshold")
+
+
+class _RecordingTracer:
+    def __init__(self):
+        self.events = []
+
+    def event(self, name, **payload):
+        self.events.append((name, payload))
+
+    def span(self, name, **attrs):  # pragma: no cover - context only
+        import contextlib
+
+        return contextlib.nullcontext()
+
+
+def test_progress_events_monotone_under_fanout(rng):
+    """With thread fan-out, pricing.progress events stay monotone in `done`
+    and end with a final event covering every winner."""
+    instance = make_random_multi_task(rng, n_users=30, n_tasks=5)
+    tracer = _RecordingTracer()
+    pricer = BatchPricer(instance, tracer=tracer, require_feasible=False)
+    pricer.price_all(max_workers=3)
+    progress = [p for name, p in tracer.events if name == "pricing.progress"]
+    assert progress, "fan-out must still emit heartbeats"
+    dones = [p["done"] for p in progress]
+    assert dones == sorted(dones)
+    assert progress[-1].get("final") is True
+    assert progress[-1]["done"] == len(pricer.trace.selected)
+    assert all(p["total"] == len(pricer.trace.selected) for p in progress)
 
 
 def test_residual_view_matches_dict_semantics():

@@ -56,6 +56,43 @@ def test_module_level_helper_matches_class(rng):
     assert critical_contribution_single_fast(instance, uid, EPSILON) == pricer.critical(uid)
 
 
+@pytest.mark.parametrize("kernel", ["reference", "vectorized"])
+def test_cross_winner_prefix_batching(rng, kernel):
+    """Pricing all winners through one pricer resumes prefix snapshots
+    across users: same prices as isolated pricers, fewer DP cells computed,
+    with the savings on the reuse counter."""
+    instance = make_random_single_task(rng, n_users=25)
+    winners = sorted(fptas_min_knapsack(instance, EPSILON).selected)
+    if len(winners) < 2:
+        pytest.skip("needs at least two winners to share a prefix")
+    shared_counters = PerfCounters()
+    shared = SingleTaskPricer(
+        instance, epsilon=EPSILON, counters=shared_counters, kernel=kernel
+    ).price_all(winners)
+    isolated_counters = PerfCounters()
+    for uid in winners:
+        isolated = SingleTaskPricer(
+            instance, epsilon=EPSILON, counters=isolated_counters, kernel=kernel
+        )
+        assert shared[uid] == isolated.critical(uid)
+    assert shared_counters.fptas_dp_cells < isolated_counters.fptas_dp_cells
+    assert shared_counters.fptas_dp_cells_reused > 0
+
+
+def test_price_all_order_invariance(rng):
+    """The dict is keyed ascending by id and identical no matter how the
+    caller orders the winner list — rank-ordered pricing is internal."""
+    instance = make_random_single_task(rng, n_users=20)
+    winners = sorted(fptas_min_knapsack(instance, EPSILON).selected)
+    if len(winners) < 2:
+        pytest.skip("needs at least two winners")
+    pricer = SingleTaskPricer(instance, epsilon=EPSILON)
+    forward = pricer.price_all(winners)
+    backward = SingleTaskPricer(instance, epsilon=EPSILON).price_all(winners[::-1])
+    assert forward == backward
+    assert list(forward) == winners
+
+
 def test_loser_raises_identical_critical_bid_error(small_single_task):
     winners = fptas_min_knapsack(small_single_task, EPSILON).selected
     losers = [uid for uid in small_single_task.user_ids if uid not in winners]

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.__main__ import EXPERIMENTS, build_parser, main
-from repro.core.kernels import ENV_KERNEL
+from repro.core.kernels import ENV_KERNEL, ENV_PRICE_WORKERS
 
 
 class TestParser:
@@ -89,3 +89,58 @@ class TestKernelFlag:
         assert main([*args, "--kernel", "vectorized", "--resume", str(out_dir)]) == 2
         err = capsys.readouterr().err
         assert "kernel" in err and "reference" in err
+
+
+class TestPriceWorkersFlag:
+    def test_parser_rejects_invalid_workers(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig4", "--price-workers", "many"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig4", "--price-workers", "0"])
+
+    def test_parser_accepts_counts_and_auto(self):
+        args = build_parser().parse_args(["run", "fig4", "--price-workers", "2"])
+        assert args.price_workers == "2"
+        args = build_parser().parse_args(["run", "fig4", "--price-workers", "auto"])
+        assert args.price_workers == "auto"
+        assert build_parser().parse_args(["run", "fig4"]).price_workers is None
+
+    def test_workers_land_in_manifest_and_environment(self, tmp_path, monkeypatch):
+        # Seed through monkeypatch so the CLI's export is undone at teardown.
+        monkeypatch.setenv(ENV_PRICE_WORKERS, "auto")
+        out_dir = tmp_path / "run"
+        assert (
+            main(
+                ["run", "fig4", "--n-taxis", "60", "--seed", "5", "--quick",
+                 "--price-workers", "2", "--out-dir", str(out_dir)]
+            )
+            == 0
+        )
+        manifest = json.loads((out_dir / "MANIFEST.json").read_text())
+        assert manifest["config"]["price_workers"] == "2"
+        import os
+
+        # Exported so experiment worker processes inherit the fan-out.
+        assert os.environ[ENV_PRICE_WORKERS] == "2"
+
+    def test_default_records_auto_in_manifest(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(ENV_PRICE_WORKERS, raising=False)
+        out_dir = tmp_path / "run"
+        assert (
+            main(["run", "fig4", "--n-taxis", "60", "--seed", "5", "--quick",
+                  "--out-dir", str(out_dir)])
+            == 0
+        )
+        manifest = json.loads((out_dir / "MANIFEST.json").read_text())
+        # "auto" stays symbolic: the resolved count is a host property.
+        assert manifest["config"]["price_workers"] == "auto"
+
+    def test_resume_refuses_workers_mismatch(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv(ENV_PRICE_WORKERS, "auto")
+        out_dir = tmp_path / "run"
+        args = ["run", "fig4", "--n-taxis", "60", "--seed", "5", "--quick"]
+        assert main([*args, "--price-workers", "2", "--out-dir", str(out_dir)]) == 0
+        monkeypatch.setenv(ENV_PRICE_WORKERS, "auto")  # undo the CLI's export
+        assert main([*args, "--price-workers", "4", "--resume", str(out_dir)]) == 2
+        err = capsys.readouterr().err
+        assert "price_workers" in err and "'2'" in err and "'4'" in err

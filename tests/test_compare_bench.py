@@ -287,6 +287,39 @@ class TestHistoryMode:
         assert main([candidate, "--history", str(ledger)]) == 1
         assert "regression(s)" in capsys.readouterr().out
 
+    def _w_sweep(self, s_small, s_big):
+        return {
+            "benchmark": "pricing_w_sweep",
+            "n_users": 100,
+            "method": "threshold",
+            "sweep": [
+                {"n_users": 10, "n_winners": 5, "speedup": s_small},
+                {"n_users": 100, "n_winners": 50, "speedup": s_big},
+            ],
+        }
+
+    def test_history_gate_covers_pricing_w_sweep(self, tmp_path, capsys):
+        """The pricing W-sweep expands into per-size keys under --history,
+        so a regression at one winner count trips the gate even when the
+        other sizes hold."""
+        from benchmarks.history import append_history
+
+        ledger = tmp_path / "history.jsonl"
+        append_history(
+            {"pricing_w_sweep_n100": self._w_sweep(2.0, 6.0)},
+            ledger,
+            sha="sha0",
+            recorded_at="2026-01-01T00:00:00Z",
+        )
+        ok = tmp_path / "ok.json"
+        ok.write_text(json.dumps(dump({"pricing_w_sweep_n100": self._w_sweep(1.9, 5.5)})))
+        assert main([str(ok), "--history", str(ledger)]) == 0
+        capsys.readouterr()
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(dump({"pricing_w_sweep_n100": self._w_sweep(2.0, 3.0)})))
+        assert main([str(bad), "--history", str(ledger)]) == 1
+        assert "pricing_w_sweep_n100@n=100" in capsys.readouterr().out
+
     def test_history_rejects_two_dumps(self, tmp_path, capsys):
         ledger = self._ledger(tmp_path, [2.0])
         candidate = self._dump(tmp_path, 2.0)
