@@ -1,0 +1,438 @@
+"""Workload-engine scaling: fit / generate / dispatch across an n-sweep.
+
+PR 6/8 made the auction itself cheap at n=100k; this bench tracks the
+other side of the pipeline — everything between raw traces and the
+auction instance:
+
+* **fit** — Markov fleet fitting (``MarkovMobilityModel.from_sequences``),
+  vectorized CSR counting vs the per-taxi reference loop;
+* **generate** — ``WorkloadGenerator.multi_task_instance`` end to end
+  (reach profiles, ranking, bundle assembly, feasibility repair), with an
+  exact instance-equality assert wherever both kernels run;
+* **dispatch** — handing the generated arrays to pool workers, shared
+  memory vs per-task pickles (:meth:`repro.simulation.parallel.
+  ExperimentRunner.map_workload`), byte-identical by construction;
+* **stream** — a 10^6-taxi instance through
+  :func:`repro.workload.stream.stream_instances`, with per-chunk
+  tracemalloc peaks proving memory stays flat as chunks go by.
+
+Full-size runs are marked ``perf`` and write ``BENCH_workload.json`` at
+the repo root plus one ledger line per record
+(:mod:`benchmarks.history`); the sweep records use the same
+``{"sweep": [...]}`` shape as ``BENCH_kernels.json``, so
+:mod:`benchmarks.compare_bench` flags a regression at the sweep size
+where it happens.  The smoke-size sweep in
+``tests/perf/test_bench_workload_smoke.py`` drives the same functions on
+every tier-1 run.
+
+Synthetic traces are ring walks: each taxi starts at a random cell of a
+``n_cells``-cell ring and steps −1/0/+1 per slot, giving the small
+contiguous location support (~½ ``seq_len`` cells) real taxi traces
+show, at any fleet size, generated as one array op per chunk.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.mobility.markov import MarkovMobilityModel
+from repro.mobility.markov_kernel import SequenceChunk
+from repro.simulation.parallel import ExperimentRunner
+from repro.workload.config import table2_defaults
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.stream import stream_instances
+
+BENCH_WORKLOAD_PATH = Path(__file__).resolve().parent.parent / "BENCH_workload.json"
+
+
+# --------------------------------------------------------------------- #
+# Synthetic trace substrate
+# --------------------------------------------------------------------- #
+
+
+def make_trace_chunk(
+    n_taxis: int,
+    seed: int,
+    first_taxi_id: int = 0,
+    n_cells: int = 40,
+    seq_len: int = 24,
+) -> SequenceChunk:
+    """A fleet chunk of ring-walk traces, built without per-taxi loops."""
+    rng = np.random.default_rng(seed)
+    start = rng.integers(0, n_cells, size=n_taxis)
+    steps = rng.integers(-1, 2, size=(n_taxis, seq_len - 1))
+    cells = np.empty((n_taxis, seq_len), dtype=np.int64)
+    cells[:, 0] = start
+    np.cumsum(steps, axis=1, out=steps)
+    cells[:, 1:] = (start[:, None] + steps) % n_cells
+    indptr = np.arange(n_taxis + 1, dtype=np.int64) * seq_len
+    taxi_ids = np.arange(first_taxi_id, first_taxi_id + n_taxis, dtype=np.int64)
+    return SequenceChunk(taxi_ids=taxi_ids, cells=cells.reshape(-1), indptr=indptr)
+
+
+def chunk_to_sequences(chunk: SequenceChunk) -> dict[int, list[int]]:
+    """The mapping form of a chunk (what ``from_sequences`` consumes)."""
+    return {
+        int(chunk.taxi_ids[row]): chunk.sequence_of(row).tolist()
+        for row in range(chunk.n_taxis)
+    }
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value
+
+
+def _peak_mb(fn) -> float:
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / 1e6
+
+
+def _instances_equal(a, b) -> bool:
+    """Bit-exact equality of two generated multi-task instances."""
+    ia, ib = a.instance, b.instance
+    if a.repair != b.repair or a.taxi_of_user != b.taxi_of_user:
+        return False
+    if a.task_cells != b.task_cells:
+        return False
+    if [(t.task_id, t.requirement) for t in ia.tasks] != [
+        (t.task_id, t.requirement) for t in ib.tasks
+    ]:
+        return False
+    return [(u.user_id, u.cost, u.pos) for u in ia.users] == [
+        (u.user_id, u.cost, u.pos) for u in ib.users
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Fit + generate n-sweep
+# --------------------------------------------------------------------- #
+
+
+def run_workload_sweep(
+    n_values: tuple[int, ...] = (1_000, 10_000, 100_000),
+    reference_max_n: int = 100_000,
+    seed: int = 4242,
+    n_tasks: int = 15,
+    measure_memory: bool = True,
+) -> dict:
+    """Time fleet fitting and instance generation per kernel across ``n``.
+
+    Per point ``n`` taxis produce an ``n_users = n // 2`` multi-task
+    instance over ``n_tasks`` pool cells.  The vectorized kernel always
+    runs; the reference runs up to ``reference_max_n`` with a bit-exact
+    instance-equality assert.  ``fit_seconds`` covers
+    ``from_sequences``; ``generate_seconds`` covers generator
+    construction, the (lazy) profile build, and the instance — the full
+    trace-to-auction path after fitting.
+    """
+    points = []
+    for n in n_values:
+        chunk = make_trace_chunk(n, seed=seed + n)
+        sequences = chunk_to_sequences(chunk)
+        n_users = n // 2
+
+        vec_fit_s, vec_model = _timed(
+            lambda: MarkovMobilityModel.from_sequences(sequences, kernel="vectorized")
+        )
+
+        def _vec_generate():
+            generator = WorkloadGenerator(vec_model, kernel="vectorized")
+            return generator.multi_task_instance(n_users, n_tasks, seed=seed)
+
+        vec_gen_s, vec_instance = _timed(_vec_generate)
+        point = {
+            "n_users": n_users,
+            "n_taxis": n,
+            "n_tasks": n_tasks,
+            "vectorized_fit_seconds": round(vec_fit_s, 6),
+            "vectorized_generate_seconds": round(vec_gen_s, 6),
+            "vectorized_seconds": round(vec_fit_s + vec_gen_s, 6),
+        }
+        if measure_memory:
+            point["vectorized_peak_mb"] = round(_peak_mb(_vec_generate), 3)
+        if n <= reference_max_n:
+            ref_fit_s, ref_model = _timed(
+                lambda: MarkovMobilityModel.from_sequences(sequences, kernel="reference")
+            )
+
+            def _ref_generate():
+                generator = WorkloadGenerator(ref_model, kernel="reference")
+                return generator.multi_task_instance(n_users, n_tasks, seed=seed)
+
+            ref_gen_s, ref_instance = _timed(_ref_generate)
+            assert _instances_equal(vec_instance, ref_instance), (
+                f"workload kernel mismatch at n={n}"
+            )
+            ref_total = ref_fit_s + ref_gen_s
+            point["reference_fit_seconds"] = round(ref_fit_s, 6)
+            point["reference_generate_seconds"] = round(ref_gen_s, 6)
+            point["reference_seconds"] = round(ref_total, 6)
+            point["speedup"] = round(
+                ref_total / max(vec_fit_s + vec_gen_s, 1e-12), 2
+            )
+        points.append(point)
+    return {
+        "benchmark": "workload_sweep",
+        "seed": seed,
+        "n_tasks": n_tasks,
+        "sweep": points,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Assembly micro-regression (the hoisted-set fix)
+# --------------------------------------------------------------------- #
+
+
+def run_assembly_scaling(
+    small: tuple[int, int] = (300, 40),
+    large: tuple[int, int] = (1_200, 160),
+    seed: int = 99,
+    repeats: int = 3,
+) -> dict:
+    """Reference multi-task assembly cost when ``n`` and ``t`` grow together.
+
+    Before the hoisted-membership-set fix, assembly rebuilt
+    ``set(kept_cells)`` / ``set(dropped)`` inside the per-user loop, an
+    O(n·t) term that quadruples per axis — growing ``(n, t)`` by 4× each
+    cost ~16×.  Fixed, the ratio tracks the ~4× growth in emitted bids.
+    The full-size perf test asserts the ratio stays well under the
+    quadratic envelope.
+    """
+
+    def _time_once(n_taxis: int, n_tasks: int) -> float:
+        chunk = make_trace_chunk(n_taxis, seed=seed + n_taxis, n_cells=4 * n_tasks)
+        model = MarkovMobilityModel.from_sequences(
+            chunk_to_sequences(chunk), kernel="reference"
+        )
+        generator = WorkloadGenerator(model, kernel="reference")
+        best = float("inf")
+        for rep in range(repeats):
+            elapsed, _ = _timed(
+                lambda: generator.multi_task_instance(
+                    n_taxis // 2, n_tasks, seed=seed + rep
+                )
+            )
+            best = min(best, elapsed)
+        return best
+
+    small_s = _time_once(*small)
+    large_s = _time_once(*large)
+    return {
+        "benchmark": "workload_assembly_scaling",
+        "seed": seed,
+        "small": {"n_taxis": small[0], "n_tasks": small[1], "seconds": round(small_s, 6)},
+        "large": {"n_taxis": large[0], "n_tasks": large[1], "seconds": round(large_s, 6)},
+        "ratio": round(large_s / max(small_s, 1e-12), 2),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Dispatch: shared memory vs pickle fan-out
+# --------------------------------------------------------------------- #
+
+
+def dispatch_stage_fn(arrays: dict, sl: slice) -> bytes:
+    """The fanned-out stage: a running reduction over the slice's bids.
+
+    Module-level so pool workers can import it; returns raw bytes so the
+    byte-identity check between serial, shm, and pickle runs is literal.
+    """
+    q = arrays["contribution"][sl] * arrays["weight"][sl]
+    return np.cumsum(q).tobytes()
+
+
+def run_dispatch_bench(
+    n_users: int = 1_000_000,
+    workers: int = 4,
+    chunk_size: int = 125_000,
+    seed: int = 2024,
+) -> dict:
+    """Time ``map_workload`` over one large bid array, shm vs pickle.
+
+    All three routes (serial, shm, pickle) must return byte-identical
+    results; the record keeps the per-route wall clocks and the
+    pickle→shm speedup, the number the dispatch layer exists for.
+    """
+    rng = np.random.default_rng(seed)
+    arrays = {
+        "contribution": rng.exponential(1.0, size=n_users),
+        "weight": rng.uniform(0.5, 1.5, size=n_users),
+    }
+    with ExperimentRunner(workers=1) as serial_runner:
+        serial_s, serial = _timed(
+            lambda: serial_runner.map_workload(
+                arrays, dispatch_stage_fn, chunk_size=chunk_size
+            )
+        )
+    with ExperimentRunner(workers=workers) as runner:
+        runner.map_workload(  # warm the pool so neither route pays startup
+            arrays, dispatch_stage_fn, via="pickle", chunk_size=n_users
+        )
+        pickle_s, pickled = _timed(
+            lambda: runner.map_workload(
+                arrays, dispatch_stage_fn, via="pickle", chunk_size=chunk_size
+            )
+        )
+        shm_s, shared = _timed(
+            lambda: runner.map_workload(
+                arrays, dispatch_stage_fn, via="shm", chunk_size=chunk_size
+            )
+        )
+    assert serial == pickled == shared, "dispatch routes disagree"
+    return {
+        "benchmark": "workload_dispatch",
+        "seed": seed,
+        "n_users": n_users,
+        "workers": workers,
+        "chunk_size": chunk_size,
+        "bytes": int(sum(a.nbytes for a in arrays.values())),
+        "serial_seconds": round(serial_s, 6),
+        "pickle_seconds": round(pickle_s, 6),
+        "shm_seconds": round(shm_s, 6),
+        "speedup": round(pickle_s / max(shm_s, 1e-12), 2),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Million-user stream under bounded memory
+# --------------------------------------------------------------------- #
+
+
+def run_stream_bench(
+    n_taxis: int = 1_000_000,
+    chunk_taxis: int = 50_000,
+    n_tasks: int = 15,
+    seed: int = 7,
+) -> dict:
+    """Stream a ``n_taxis``-taxi instance and record per-chunk memory peaks.
+
+    Traces are generated lazily inside the chunk iterator, so nothing —
+    input or output — is ever resident for more than one chunk.
+    ``tracemalloc.reset_peak`` between chunks turns the cumulative peak
+    into a per-chunk series; a flat series (max ≈ first) is the bounded-
+    memory claim, asserted in the perf test.
+    """
+    n_chunks = n_taxis // chunk_taxis
+
+    def chunks():
+        for i in range(n_chunks):
+            yield make_trace_chunk(
+                chunk_taxis, seed=seed * 1_000_003 + i, first_taxi_id=i * chunk_taxis
+            )
+
+    chunk_peaks: list[float] = []
+    n_users = 0
+    tracemalloc.start()
+    try:
+        start = time.perf_counter()
+        for streamed in stream_instances(
+            chunks(), n_tasks=n_tasks, seed=seed, kernel="vectorized"
+        ):
+            n_users += streamed.n_users
+            _, peak = tracemalloc.get_traced_memory()
+            chunk_peaks.append(peak / 1e6)
+            tracemalloc.reset_peak()
+        elapsed = time.perf_counter() - start
+    finally:
+        tracemalloc.stop()
+    return {
+        "benchmark": "workload_stream",
+        "seed": seed,
+        "n_taxis": n_taxis,
+        "chunk_taxis": chunk_taxis,
+        "n_chunks": n_chunks,
+        "n_tasks": n_tasks,
+        "n_users": n_users,
+        "seconds": round(elapsed, 3),
+        "users_per_second": round(n_users / max(elapsed, 1e-9)),
+        "first_chunk_peak_mb": round(chunk_peaks[0], 3),
+        "max_chunk_peak_mb": round(max(chunk_peaks), 3),
+        "peak_flatness": round(max(chunk_peaks) / max(chunk_peaks[0], 1e-9), 3),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Dump + perf test
+# --------------------------------------------------------------------- #
+
+
+def write_workload_records(
+    records: list[dict], path: Path = BENCH_WORKLOAD_PATH
+) -> Path:
+    """Merge records into ``BENCH_workload.json``, keyed by benchmark."""
+    existing = {"records": {}}
+    if path.exists():
+        existing = json.loads(path.read_text())
+        existing.setdefault("records", {})
+    for record in records:
+        existing["records"][record["benchmark"]] = record
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+@pytest.mark.perf
+def test_workload_scaling_full_size():
+    """Acceptance: ≥5× end-to-end at n≥100k taxis; 10^6 streamed flat."""
+    sweep = run_workload_sweep()
+    assembly = run_assembly_scaling()
+    dispatch = run_dispatch_bench()
+    stream = run_stream_bench()
+    write_workload_records([sweep, assembly, dispatch, stream])
+    from benchmarks.history import append_history
+
+    append_history(
+        {r["benchmark"]: r for r in (sweep, assembly, dispatch, stream)}
+    )
+
+    by_n = {p["n_taxis"]: p for p in sweep["sweep"]}
+    largest_common = max(n for n, p in by_n.items() if "speedup" in p)
+    assert largest_common >= 100_000 and by_n[largest_common]["speedup"] >= 5.0, (
+        by_n[largest_common]
+    )
+
+    # (n, t) grew 4x each: quadratic assembly would land near 16x; the
+    # hoisted-set fix keeps the ratio near the ~4x bid growth.
+    assert assembly["ratio"] < 10.0, assembly
+
+    assert stream["n_taxis"] >= 1_000_000 and stream["n_users"] > 0
+    # Peak memory must not grow with chunk count: every later chunk stays
+    # within 2x of the first chunk's peak.
+    assert stream["peak_flatness"] < 2.0, stream
+
+    print("\nworkload n-sweep (fit + generate, multi-task):")
+    for p in sweep["sweep"]:
+        speed = f"{p['speedup']:.1f}x" if "speedup" in p else "—"
+        print(
+            f"  taxis={p['n_taxis']:>7} users={p['n_users']:>6}  "
+            f"fit={p['vectorized_fit_seconds']:.3f}s  "
+            f"gen={p['vectorized_generate_seconds']:.3f}s  speedup={speed}"
+        )
+    print(
+        f"assembly scaling ratio (4x n, 4x t): {assembly['ratio']:.1f}x "
+        "(quadratic would be ~16x)"
+    )
+    print(
+        f"dispatch n={dispatch['n_users']}: serial={dispatch['serial_seconds']}s "
+        f"pickle={dispatch['pickle_seconds']}s shm={dispatch['shm_seconds']}s "
+        f"({dispatch['speedup']:.1f}x over pickle)"
+    )
+    print(
+        f"stream: {stream['n_users']} users from {stream['n_taxis']} taxis in "
+        f"{stream['seconds']}s ({stream['users_per_second']}/s), "
+        f"chunk peak {stream['max_chunk_peak_mb']}MB "
+        f"(flatness {stream['peak_flatness']})"
+    )

@@ -39,9 +39,11 @@ from pathlib import Path
 from .core.kernels import (
     ENV_KERNEL,
     ENV_PRICE_WORKERS,
+    ENV_WORKLOAD_KERNEL,
     KERNELS,
     resolve_kernel,
     resolve_price_workers,
+    resolve_workload_kernel,
 )
 from .obs import EventLog, RunManifest, Tracer, build_report, format_report, new_run_id
 from .obs.dashboard import watch_dashboard, write_dashboard
@@ -179,6 +181,15 @@ def build_parser() -> argparse.ArgumentParser:
         f"{ENV_KERNEL} environment variable); results are bit-identical",
     )
     run.add_argument(
+        "--workload-kernel",
+        choices=list(KERNELS),
+        default=None,
+        help="workload-engine kernel for Markov fitting and instance "
+        "generation (default: vectorized, or the "
+        f"{ENV_WORKLOAD_KERNEL} environment variable); instances are "
+        "bit-identical",
+    )
+    run.add_argument(
         "--price-workers",
         default=None,
         type=_price_workers_argtype,
@@ -264,6 +275,13 @@ def _open_resume(args: argparse.Namespace) -> tuple[str, Path, dict] | int:
         # the configuration it resumes under; pre-kernel manifests (no
         # "kernel" key) accept whatever resolves now.
         ("kernel", kernel, prior.config.get("kernel", kernel)),
+        (
+            "workload_kernel",
+            resolve_workload_kernel(args.workload_kernel),
+            prior.config.get(
+                "workload_kernel", resolve_workload_kernel(args.workload_kernel)
+            ),
+        ),
         # Same for pricing fan-out: bit-identical prices, but mixing worker
         # configurations inside one run directory would misattribute its
         # timing records.
@@ -294,6 +312,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # into the worker processes the parallel runner spawns.
         os.environ[ENV_KERNEL] = args.kernel
     kernel = resolve_kernel(args.kernel)
+    if args.workload_kernel is not None:
+        # Same propagation story as --kernel: workers inherit via the env.
+        os.environ[ENV_WORKLOAD_KERNEL] = args.workload_kernel
+    workload_kernel = resolve_workload_kernel(args.workload_kernel)
     if args.price_workers is not None:
         resolve_price_workers(args.price_workers)  # fail fast on a typo
         os.environ[ENV_PRICE_WORKERS] = str(args.price_workers)
@@ -330,6 +352,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "chunk_size": args.chunk_size,
             "resumed": args.resume is not None,
             "kernel": kernel,
+            "workload_kernel": workload_kernel,
             "price_workers": price_workers,
         },
         events_file="events.jsonl",

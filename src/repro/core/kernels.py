@@ -49,6 +49,9 @@ __all__ = [
     "ENV_KERNEL",
     "resolve_kernel",
     "set_default_kernel",
+    "ENV_WORKLOAD_KERNEL",
+    "resolve_workload_kernel",
+    "set_default_workload_kernel",
     "PRICE_BACKENDS",
     "ENV_PRICE_WORKERS",
     "ENV_PRICE_BACKEND",
@@ -102,6 +105,48 @@ def resolve_kernel(kernel: str | None = None) -> str:
     env = os.environ.get(ENV_KERNEL)
     if env:
         return _validate(env, f"environment variable {ENV_KERNEL}")
+    return DEFAULT_KERNEL
+
+
+# --------------------------------------------------------------------- #
+# Workload-engine kernel resolution
+# --------------------------------------------------------------------- #
+
+#: Environment variable consulted by :func:`resolve_workload_kernel`;
+#: exported by the CLI so experiment worker processes inherit the choice.
+ENV_WORKLOAD_KERNEL = "REPRO_WORKLOAD_KERNEL"
+
+_process_default_workload: str | None = None
+
+
+def set_default_workload_kernel(kernel: str | None) -> None:
+    """Install (or with ``None`` clear) the process-wide workload kernel."""
+    global _process_default_workload
+    _process_default_workload = (
+        None if kernel is None else _validate(kernel, "set_default_workload_kernel")
+    )
+
+
+def resolve_workload_kernel(kernel: str | None = None) -> str:
+    """The workload-engine kernel a call site should use.
+
+    Everything *upstream of the auction* — Markov fitting, top-m
+    prediction, instance generation, trace streaming — resolves its
+    compute kernel here, through the same shape of chain as
+    :func:`resolve_kernel`: explicit argument >
+    :func:`set_default_workload_kernel` (the CLI's ``--workload-kernel``
+    flag) > ``REPRO_WORKLOAD_KERNEL`` environment variable >
+    :data:`DEFAULT_KERNEL`.  The kernel names are shared with the
+    mechanism chain (``"vectorized"`` / ``"reference"``) but resolved
+    independently, so a parity bisection can pin one side at a time.
+    """
+    if kernel is not None:
+        return _validate(kernel, "argument")
+    if _process_default_workload is not None:
+        return _process_default_workload
+    env = os.environ.get(ENV_WORKLOAD_KERNEL)
+    if env:
+        return _validate(env, f"environment variable {ENV_WORKLOAD_KERNEL}")
     return DEFAULT_KERNEL
 
 

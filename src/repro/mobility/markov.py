@@ -31,6 +31,8 @@ from typing import Literal, Mapping, Sequence
 import numpy as np
 
 from ..core.errors import ValidationError
+from ..core.kernels import resolve_workload_kernel
+from .markov_kernel import FleetCounts, SequenceChunk, fit_fleet
 
 __all__ = ["Smoothing", "TaxiModel", "MarkovMobilityModel"]
 
@@ -73,22 +75,60 @@ class MarkovMobilityModel:
             raise ValidationError(f"unknown smoothing {smoothing!r}")
         self.smoothing: Smoothing = smoothing
         self._models: dict[int, TaxiModel] = {}
+        self._fleet_cache: FleetCounts | None = None
 
     @classmethod
     def from_sequences(
-        cls, sequences: Mapping[int, Sequence[int]], smoothing: Smoothing = "laplace"
+        cls,
+        sequences: Mapping[int, Sequence[int]],
+        smoothing: Smoothing = "laplace",
+        kernel: str | None = None,
     ) -> "MarkovMobilityModel":
         model = cls(smoothing=smoothing)
-        model.fit(sequences)
+        model.fit(sequences, kernel=kernel)
         return model
 
     # ------------------------------------------------------------------ #
     # Fitting
     # ------------------------------------------------------------------ #
 
-    def fit(self, sequences: Mapping[int, Sequence[int]]) -> "MarkovMobilityModel":
-        """Fit one model per taxi from its time-ordered cell sequence."""
+    def fit(
+        self, sequences: Mapping[int, Sequence[int]], kernel: str | None = None
+    ) -> "MarkovMobilityModel":
+        """Fit one model per taxi from its time-ordered cell sequence.
+
+        Args:
+            sequences: ``taxi_id -> time-ordered cell sequence``.  Taxis
+                with fewer than two observations are skipped.
+            kernel: ``"vectorized"`` counts the whole fleet in one array
+                pass (:func:`repro.mobility.markov_kernel.fit_fleet`);
+                ``"reference"`` keeps the original per-taxi loop.  ``None``
+                resolves through :func:`repro.core.kernels.
+                resolve_workload_kernel`.  Both produce identical models —
+                counts are integers, so parity is exact.
+        """
         self._models = {}
+        self._fleet_cache = None
+        if resolve_workload_kernel(kernel) == "vectorized":
+            fleet = fit_fleet(SequenceChunk.from_mapping(sequences))
+            # The fitted arrays ARE the fleet-counts structure — cache them
+            # (row-sorted) so fleet_counts() never re-packs 10^5 TaxiModels.
+            self._fleet_cache = fleet.sorted_by_taxi()
+            cells_list = fleet.loc_cells.tolist()
+            loc_ptr = fleet.loc_indptr.tolist()
+            sq_ptr = fleet.sq_indptr.tolist()
+            counts_flat = fleet.counts_flat
+            for row, taxi_id in enumerate(fleet.taxi_ids.tolist()):
+                a, b = loc_ptr[row], loc_ptr[row + 1]
+                l = b - a
+                self._models[taxi_id] = TaxiModel(
+                    taxi_id=taxi_id,
+                    locations=tuple(cells_list[a:b]),
+                    counts=counts_flat[sq_ptr[row] : sq_ptr[row + 1]]
+                    .reshape(l, l)
+                    .copy(),
+                )
+            return self
         for taxi_id, sequence in sequences.items():
             if len(sequence) < 2:
                 continue  # nothing to learn from a single observation
@@ -101,6 +141,17 @@ class MarkovMobilityModel:
                 taxi_id=taxi_id, locations=locations, counts=counts
             )
         return self
+
+    def fleet_counts(self) -> FleetCounts:
+        """The fitted fleet as one flat array structure, rows sorted by taxi id.
+
+        Built lazily from the per-taxi models and cached; the batched
+        profile/prediction kernels consume this instead of re-entering
+        Python per taxi.
+        """
+        if self._fleet_cache is None:
+            self._fleet_cache = FleetCounts.from_models(self._models)
+        return self._fleet_cache
 
     @property
     def taxi_ids(self) -> tuple[int, ...]:

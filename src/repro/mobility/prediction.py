@@ -12,9 +12,13 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+import numpy as np
+
 from ..core.errors import ValidationError
+from ..core.kernels import resolve_workload_kernel
 from .dataset import TransitionPair
 from .markov import MarkovMobilityModel
+from .markov_kernel import topm_hit_ranks
 
 __all__ = ["prediction_accuracy", "predicted_pos_samples"]
 
@@ -23,6 +27,7 @@ def prediction_accuracy(
     model: MarkovMobilityModel,
     held_out: Sequence[TransitionPair],
     m_values: Sequence[int] = tuple(range(3, 16)),
+    kernel: str | None = None,
 ) -> dict[int, float]:
     """Top-``m`` next-location accuracy over held-out transitions.
 
@@ -30,6 +35,14 @@ def prediction_accuracy(
         model: A fitted mobility model.
         held_out: Ground-truth (current, next) pairs from the test split.
         m_values: The prediction-set sizes to evaluate (paper: 3..15).
+        kernel: ``"vectorized"`` ranks every pair's true next cell in one
+            batched pass (:func:`repro.mobility.markov_kernel.
+            topm_hit_ranks`); ``"reference"`` calls ``predict_top`` per
+            pair.  ``None`` resolves through :func:`repro.core.kernels.
+            resolve_workload_kernel`.  Identical results: the vectorized
+            rank counts strictly-larger-probability cells plus
+            equal-probability cells with smaller ids — the reference's
+            ``(-p, cell)`` sort order — on bit-identical rows.
 
     Returns:
         Map ``m -> fraction of pairs whose next cell is in the top-m set``.
@@ -40,6 +53,22 @@ def prediction_accuracy(
     usable = [p for p in held_out if p.taxi_id in set(model.taxi_ids)]
     if not usable:
         raise ValidationError("no held-out pair matches a fitted taxi model")
+    for m in m_values:
+        if m <= 0:
+            raise ValidationError(f"m must be positive, got {m!r}")
+    if resolve_workload_kernel(kernel) == "vectorized":
+        counts = model.fleet_counts()
+        rows = np.searchsorted(
+            counts.taxi_ids, np.asarray([p.taxi_id for p in usable], dtype=np.int64)
+        )
+        ranks = topm_hit_ranks(
+            counts,
+            model.smoothing,
+            rows,
+            np.asarray([p.current_cell for p in usable], dtype=np.int64),
+            np.asarray([p.next_cell for p in usable], dtype=np.int64),
+        )
+        return {m: int((ranks < m).sum()) / len(usable) for m in m_values}
     accuracy: dict[int, float] = {}
     max_m = max(m_values)
     # Rank once per pair at the largest m; smaller m are prefixes.
@@ -48,8 +77,6 @@ def prediction_accuracy(
         for pair in usable
     ]
     for m in m_values:
-        if m <= 0:
-            raise ValidationError(f"m must be positive, got {m!r}")
         hits = sum(1 for pair, top in ranked if pair.next_cell in top[:m])
         accuracy[m] = hits / len(usable)
     return accuracy

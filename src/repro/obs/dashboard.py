@@ -336,6 +336,7 @@ def _section_manifest(report: RunReport) -> str:
         ["python", m.platform.get("python", "?")],
         ["machine", m.platform.get("machine", "?")],
         ["kernel", m.config.get("kernel", "—")],
+        ["workload kernel", m.config.get("workload_kernel", "—")],
         ["artifacts", ", ".join(m.artifacts) or "—"],
     ]
     return _table(["field", "value"], rows, numeric_from=99)
@@ -507,17 +508,84 @@ def _section_bench(bench_records: dict[str, dict]) -> str:
             out.append(f"<h3>{_esc(key)}</h3>")
             if series:
                 out.append(_svg_line_chart(series, "n_users", "seconds"))
-            headers = ["n_users", "vectorized s", "reference s", "speedup"]
-            rows = [
-                [
-                    p.get("n_users"),
-                    _fmt(p.get("vectorized_seconds", "—")),
-                    _fmt(p.get("reference_seconds", "—")),
-                    _fmt(p.get("speedup", "—")),
-                ]
+            split = [
+                p
                 for p in xs
+                if "vectorized_fit_seconds" in p
+                and "vectorized_generate_seconds" in p
             ]
+            if split:
+                # Workload-engine sweeps split end-to-end time into the
+                # fit and generate stages (dispatch has its own record).
+                out.append(
+                    _svg_line_chart(
+                        [
+                            (
+                                "fit",
+                                [
+                                    (p["n_users"], p["vectorized_fit_seconds"])
+                                    for p in split
+                                ],
+                            ),
+                            (
+                                "generate",
+                                [
+                                    (p["n_users"], p["vectorized_generate_seconds"])
+                                    for p in split
+                                ],
+                            ),
+                        ],
+                        "n_users",
+                        "stage seconds",
+                    )
+                )
+                headers = [
+                    "n_users", "fit s", "generate s", "vectorized s",
+                    "reference s", "speedup",
+                ]
+                rows = [
+                    [
+                        p.get("n_users"),
+                        _fmt(p.get("vectorized_fit_seconds", "—")),
+                        _fmt(p.get("vectorized_generate_seconds", "—")),
+                        _fmt(p.get("vectorized_seconds", "—")),
+                        _fmt(p.get("reference_seconds", "—")),
+                        _fmt(p.get("speedup", "—")),
+                    ]
+                    for p in xs
+                ]
+            else:
+                headers = ["n_users", "vectorized s", "reference s", "speedup"]
+                rows = [
+                    [
+                        p.get("n_users"),
+                        _fmt(p.get("vectorized_seconds", "—")),
+                        _fmt(p.get("reference_seconds", "—")),
+                        _fmt(p.get("speedup", "—")),
+                    ]
+                    for p in xs
+                ]
             out.append(_table(headers, rows))
+        elif all(
+            f"{route}_seconds" in record for route in ("serial", "pickle", "shm")
+        ):
+            # Dispatch records: one row per hand-off route.
+            out.append(f"<h3>{_esc(key)}</h3>")
+            out.append(
+                _table(
+                    ["route", "seconds"],
+                    [
+                        [route, _fmt(record[f"{route}_seconds"])]
+                        for route in ("serial", "pickle", "shm")
+                    ],
+                )
+            )
+            if "speedup" in record:
+                out.append(
+                    f"<p class='meta'>shm is {_fmt(record['speedup'])}x faster "
+                    f"than pickling {_fmt(record.get('bytes', '?'))} bytes "
+                    f"across {_fmt(record.get('n_users', '?'))} items</p>"
+                )
         else:
             rows = [
                 [field, _fmt(value)]

@@ -1,0 +1,159 @@
+"""Zero-copy array hand-off to pool workers via POSIX shared memory.
+
+The experiment pool's unit of exchange used to be pickles: every array an
+experiment wanted a worker to see was serialised into the task payload,
+copied into the pipe, and deserialised on the far side — per chunk.  For
+the streaming workload engine's million-user instances that triples peak
+memory and puts the interconnect on the critical path.
+
+:class:`SharedArrayPack` instead places all arrays in **one**
+``multiprocessing.shared_memory`` segment.  The parent creates the pack
+(one copy, into the segment); what crosses the process boundary is a
+:class:`SharedArrayHandle` — a name plus per-array ``(dtype, shape,
+offset)`` specs, a few hundred bytes no matter how large the arrays are.
+Workers :meth:`~SharedArrayPack.attach` and get back numpy views onto the
+same physical pages.
+
+Lifecycle contract
+------------------
+* The **creator** owns the segment: call :meth:`~SharedArrayPack.dispose`
+  (or use the pack as a context manager) once all consumers are done.
+  POSIX keeps the pages alive until the last mapping disappears, so
+  workers holding views are safe even after the parent unlinks.
+* **Attached** packs never unlink or unregister: pool workers share the
+  parent's resource tracker, so their attach-time registration is an
+  idempotent set-add and the creator's single unlink/unregister settles
+  the books (see :meth:`SharedArrayPack.attach`).
+* Views are **read-mostly** by convention: workers slicing the same pack
+  concurrently must not write to overlapping ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..core.errors import ValidationError
+
+__all__ = ["SharedArrayHandle", "SharedArrayPack"]
+
+# Per-array offsets are rounded up to this, so every view is aligned for
+# any dtype the pack can hold.
+_ALIGN = 64
+
+
+def _aligned(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class SharedArrayHandle:
+    """Picklable description of a pack: segment name + array layout."""
+
+    shm_name: str
+    #: ``(array name, dtype string, shape, byte offset)`` per array.
+    specs: tuple[tuple[str, str, tuple[int, ...], int], ...]
+
+    @property
+    def total_bytes(self) -> int:
+        """Payload bytes described by the handle (excluding tail padding)."""
+        return sum(
+            int(np.dtype(dt).itemsize) * int(np.prod(shape, dtype=np.int64))
+            for _, dt, shape, _ in self.specs
+        )
+
+
+class SharedArrayPack:
+    """A named set of numpy arrays living in one shared-memory segment."""
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        handle: SharedArrayHandle,
+        owner: bool,
+    ):
+        self._shm = shm
+        self.handle = handle
+        self._owner = owner
+        self.arrays: dict[str, np.ndarray] = {}
+        for name, dtype, shape, offset in handle.specs:
+            self.arrays[name] = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset
+            )
+
+    # -- construction --------------------------------------------------- #
+
+    @classmethod
+    def create(cls, arrays: dict[str, np.ndarray]) -> "SharedArrayPack":
+        """Copy ``arrays`` into a fresh segment and return the owning pack.
+
+        Args:
+            arrays: ``name -> array``.  Object dtypes are rejected (they
+                hold pointers, which do not survive a process boundary);
+                non-contiguous inputs are copied contiguously.
+        """
+        if not arrays:
+            raise ValidationError("cannot create a shared pack from no arrays")
+        specs: list[tuple[str, str, tuple[int, ...], int]] = []
+        offset = 0
+        contiguous: dict[str, np.ndarray] = {}
+        for name, array in arrays.items():
+            arr = np.ascontiguousarray(array)
+            if arr.dtype.hasobject:
+                raise ValidationError(
+                    f"array {name!r} has object dtype; only plain scalar "
+                    "dtypes can live in shared memory"
+                )
+            specs.append((name, arr.dtype.str, tuple(arr.shape), offset))
+            offset = _aligned(offset + arr.nbytes)
+            contiguous[name] = arr
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        handle = SharedArrayHandle(shm_name=shm.name, specs=tuple(specs))
+        pack = cls(shm, handle, owner=True)
+        for name, arr in contiguous.items():
+            pack.arrays[name][...] = arr
+        return pack
+
+    @classmethod
+    def attach(cls, handle: SharedArrayHandle) -> "SharedArrayPack":
+        """Map an existing segment (typically inside a pool worker).
+
+        Pool workers share the parent's resource tracker (its fd is
+        inherited on fork and passed through spawn preparation), so the
+        attach-time registration is an idempotent set-add on the name the
+        creator already registered — the creator's
+        :meth:`~SharedArrayPack.dispose` performs the one unlink and
+        unregister.  Do **not** unregister here: with a shared tracker
+        that would strip the creator's registration and make its own
+        unlink-time unregister fail.
+        """
+        shm = shared_memory.SharedMemory(name=handle.shm_name)
+        return cls(shm, handle, owner=False)
+
+    # -- lifecycle ------------------------------------------------------- #
+
+    @property
+    def owner(self) -> bool:
+        return self._owner
+
+    def close(self) -> None:
+        """Drop this process's mapping (views become invalid)."""
+        self.arrays.clear()
+        self._shm.close()
+
+    def dispose(self) -> None:
+        """Close and, if this pack created the segment, unlink it."""
+        self.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double dispose
+                pass
+
+    def __enter__(self) -> "SharedArrayPack":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.dispose()

@@ -33,9 +33,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.errors import ValidationError
+from ..core.kernels import resolve_workload_kernel
+from ..core.obshooks import span
 from ..core.transforms import contribution_to_pos, pos_to_contribution
 from ..core.types import AuctionInstance, SingleTaskInstance, Task, UserType
 from ..mobility.markov import MarkovMobilityModel
+from ..mobility.markov_kernel import FleetProfiles, fleet_profiles
 from .config import SimulationConfig, table2_defaults
 from .sampling import sample_costs, sample_task_set_size
 
@@ -93,6 +96,20 @@ class WorkloadGenerator:
         current_cells: Optional snapshot positions (taxi -> cell).  Defaults
             to each taxi's most-visited location.
         seed: Base RNG seed; per-call ``seed`` arguments derive from it.
+        kernel: Default compute kernel for this generator's instances —
+            ``"vectorized"`` assembles bids from batched fleet arrays
+            (:mod:`repro.workload.engine`), ``"reference"`` keeps the
+            original per-taxi loops.  ``None`` resolves through
+            :func:`repro.core.kernels.resolve_workload_kernel`; per-call
+            ``kernel=`` arguments override.  Outputs are bit-identical.
+        tracer: Optional duck-typed tracer; instance builds emit
+            ``workload.single_task`` / ``workload.multi_task`` spans.
+
+    The candidate-ranking structures are built lazily per kernel: the
+    first reference-kernel call materialises the per-taxi ``_ranked``
+    lists, the first vectorized call builds one batched
+    :class:`~repro.mobility.markov_kernel.FleetProfiles`.  A generator
+    that only ever runs one kernel never pays for the other.
     """
 
     def __init__(
@@ -101,30 +118,75 @@ class WorkloadGenerator:
         config: SimulationConfig | None = None,
         current_cells: dict[int, int] | None = None,
         seed: int = 0,
+        kernel: str | None = None,
+        tracer=None,
     ):
         self.model = model
         self.config = config or table2_defaults()
         self.seed = seed
+        self.kernel = resolve_workload_kernel(kernel)
+        self.tracer = tracer
         if not model.taxi_ids:
             raise ValidationError("mobility model has no fitted taxis")
-        self._current: dict[int, int] = {}
-        for taxi_id in model.taxi_ids:
-            if current_cells is not None and taxi_id in current_cells:
-                self._current[taxi_id] = current_cells[taxi_id]
-            else:
-                taxi_model = model.model_for(taxi_id)
-                visits = taxi_model.counts.sum(axis=1)
-                self._current[taxi_id] = taxi_model.locations[int(visits.argmax())]
-        # Each taxi's candidate destinations, ranked by predicted PoS over
-        # the configured sensing horizon (pos_horizon Markov steps).
-        max_k = self.config.tasks_per_user[1]
-        self._ranked: dict[int, list[tuple[int, float]]] = {}
-        for taxi_id in model.taxi_ids:
-            profile = model.reach_profile(
-                taxi_id, self._current[taxi_id], self.config.pos_horizon
-            )
-            ranked = sorted(profile.items(), key=lambda item: (-item[1], item[0]))
-            self._ranked[taxi_id] = ranked[: max(max_k, 20)]
+        self._given_current = dict(current_cells) if current_cells else None
+        self._current_lazy: dict[int, int] | None = None
+        self._ranked_lazy: dict[int, list[tuple[int, float]]] | None = None
+        self._profiles_lazy: FleetProfiles | None = None
+
+    @property
+    def _max_keep(self) -> int:
+        return max(self.config.tasks_per_user[1], 20)
+
+    @property
+    def _current(self) -> dict[int, int]:
+        """Snapshot position per taxi (reference-kernel structure, lazy)."""
+        if self._current_lazy is None:
+            current: dict[int, int] = {}
+            for taxi_id in self.model.taxi_ids:
+                if self._given_current is not None and taxi_id in self._given_current:
+                    current[taxi_id] = self._given_current[taxi_id]
+                else:
+                    taxi_model = self.model.model_for(taxi_id)
+                    visits = taxi_model.counts.sum(axis=1)
+                    current[taxi_id] = taxi_model.locations[int(visits.argmax())]
+            self._current_lazy = current
+        return self._current_lazy
+
+    @property
+    def _ranked(self) -> dict[int, list[tuple[int, float]]]:
+        """Ranked candidate destinations per taxi (reference structure, lazy).
+
+        Each taxi's reach profile over ``pos_horizon`` Markov steps,
+        sorted by ``(-PoS, cell)`` and truncated to ``max(max_k, 20)``.
+        """
+        if self._ranked_lazy is None:
+            ranked_map: dict[int, list[tuple[int, float]]] = {}
+            for taxi_id in self.model.taxi_ids:
+                profile = self.model.reach_profile(
+                    taxi_id, self._current[taxi_id], self.config.pos_horizon
+                )
+                ranked = sorted(profile.items(), key=lambda item: (-item[1], item[0]))
+                ranked_map[taxi_id] = ranked[: self._max_keep]
+            self._ranked_lazy = ranked_map
+        return self._ranked_lazy
+
+    def fleet_profiles(self) -> FleetProfiles:
+        """Batched profiles for the vectorized kernel (lazy, cached)."""
+        if self._profiles_lazy is None:
+            with span(
+                self.tracer,
+                "workload.profiles",
+                n_taxis=len(self.model.taxi_ids),
+                horizon=self.config.pos_horizon,
+            ):
+                self._profiles_lazy = fleet_profiles(
+                    self.model.fleet_counts(),
+                    self.model.smoothing,
+                    self.config.pos_horizon,
+                    current_cells=self._given_current,
+                    max_keep=self._max_keep,
+                )
+        return self._profiles_lazy
 
     def _rng(self, seed: int | None) -> np.random.Generator:
         return np.random.default_rng(self.seed if seed is None else seed)
@@ -146,6 +208,7 @@ class WorkloadGenerator:
         n_users: int,
         requirement: float | None = None,
         seed: int | None = None,
+        kernel: str | None = None,
     ) -> GeneratedSingleTask:
         """Fix a popular task cell and sample ``n_users`` who can reach it.
 
@@ -153,6 +216,7 @@ class WorkloadGenerator:
             n_users: Number of participating users.
             requirement: PoS requirement ``T`` override (defaults to config).
             seed: RNG seed for this instance.
+            kernel: Compute kernel override (defaults to the generator's).
 
         Raises:
             ValidationError: If the fleet has fewer than ``n_users`` taxis
@@ -160,7 +224,25 @@ class WorkloadGenerator:
         """
         if n_users <= 0:
             raise ValidationError(f"n_users must be positive, got {n_users!r}")
+        resolved = self.kernel if kernel is None else resolve_workload_kernel(kernel)
         rng = self._rng(seed)
+        with span(
+            self.tracer, "workload.single_task", n_users=n_users, kernel=resolved
+        ):
+            if resolved == "vectorized":
+                from .engine import single_task_vectorized
+
+                return single_task_vectorized(
+                    self.fleet_profiles(), self.config, n_users, requirement, rng
+                )
+            return self._single_task_reference(n_users, requirement, rng)
+
+    def _single_task_reference(
+        self,
+        n_users: int,
+        requirement: float | None,
+        rng: np.random.Generator,
+    ) -> GeneratedSingleTask:
         pos_requirement = (
             self.config.pos_requirement if requirement is None else requirement
         )
@@ -224,16 +306,41 @@ class WorkloadGenerator:
         n_tasks: int,
         requirement: float | None = None,
         seed: int | None = None,
+        kernel: str | None = None,
     ) -> GeneratedMultiTask:
         """Sample users and build the task pool from their predictions.
 
         Users whose top predictions miss the pool entirely are replaced by
         fresh taxis (counted in the repair report); tasks that remain
         uncoverable after repair are dropped (or boosted, per config).
+        ``kernel`` overrides the generator's compute kernel for this call.
         """
         if n_users <= 0 or n_tasks <= 0:
             raise ValidationError("n_users and n_tasks must be positive")
+        resolved = self.kernel if kernel is None else resolve_workload_kernel(kernel)
         rng = self._rng(seed)
+        with span(
+            self.tracer,
+            "workload.multi_task",
+            n_users=n_users,
+            n_tasks=n_tasks,
+            kernel=resolved,
+        ):
+            if resolved == "vectorized":
+                from .engine import multi_task_vectorized
+
+                return multi_task_vectorized(
+                    self.fleet_profiles(), self.config, n_users, n_tasks, requirement, rng
+                )
+            return self._multi_task_reference(n_users, n_tasks, requirement, rng)
+
+    def _multi_task_reference(
+        self,
+        n_users: int,
+        n_tasks: int,
+        requirement: float | None,
+        rng: np.random.Generator,
+    ) -> GeneratedMultiTask:
         pos_requirement = (
             self.config.pos_requirement if requirement is None else requirement
         )
@@ -251,11 +358,15 @@ class WorkloadGenerator:
 
         users: list[tuple[int, dict[int, float]]] = []  # (taxi, task->pos)
         resampled = 0
+        # Index pointer instead of reserve.pop(0): popping the head of a
+        # list is O(len(reserve)) per resample.
+        next_reserve = 0
         for taxi_id in sampled:
             bundle = self._bundle_for(taxi_id, pool_set, rng)
-            while bundle is None and reserve:
+            while bundle is None and next_reserve < len(reserve):
                 resampled += 1
-                taxi_id = reserve.pop(0)
+                taxi_id = reserve[next_reserve]
+                next_reserve += 1
                 bundle = self._bundle_for(taxi_id, pool_set, rng)
             if bundle is None:
                 raise ValidationError(
@@ -285,15 +396,19 @@ class WorkloadGenerator:
                     continue
             dropped.append(cell)
 
-        kept_cells = tuple(cell for cell in pool if cell not in set(dropped))
+        # Hoisted membership sets: rebuilding set(dropped)/set(kept_cells)
+        # inside the per-user loop made assembly O(n_users · n_tasks).
+        dropped_set = frozenset(dropped)
+        kept_cells = tuple(cell for cell in pool if cell not in dropped_set)
         if not kept_cells:
             raise ValidationError("every task was dropped during feasibility repair")
+        kept_set = frozenset(kept_cells)
         tasks = [Task(cell, pos_requirement) for cell in kept_cells]
         costs = sample_costs(self.config, len(users), rng)
         user_types = []
         taxi_of_user: dict[int, int] = {}
         for i, ((taxi_id, bundle), cost) in enumerate(zip(users, costs)):
-            kept_bundle = {c: p for c, p in bundle.items() if c in set(kept_cells)}
+            kept_bundle = {c: p for c, p in bundle.items() if c in kept_set}
             if not kept_bundle:
                 continue  # the user's entire bundle was dropped
             user_types.append(UserType(i, cost=float(cost), pos=kept_bundle))

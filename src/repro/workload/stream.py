@@ -1,0 +1,285 @@
+"""Chunked streaming instance generation with bounded peak memory.
+
+A million-user auction instance cannot be built the batch way — fit the
+whole fleet, hold every taxi's ranked profile, materialise every bid
+list, *then* assemble — without peak memory proportional to the fleet.
+:func:`stream_instances` turns generation into a pipeline over
+:class:`~repro.mobility.markov_kernel.SequenceChunk` batches: each chunk
+is fitted, ranked against one fixed task pool, and emitted as a
+:class:`StreamedChunk` of ready :class:`~repro.core.types.UserType` bids
+before the next chunk's traces are even touched.  Peak memory is
+proportional to the *chunk*, not the fleet — pinned by the
+bounded-memory test in ``tests/workload/test_stream.py`` and
+demonstrated at 10^6 users by ``benchmarks/bench_workload.py``.
+
+Determinism and the draw-order contract
+---------------------------------------
+Chunk ``i`` draws from ``default_rng(SeedSequence(seed, spawn_key=(i,)))``
+— chunks are independent of each other and of chunk order, so a resumed
+or re-chunked-elsewhere stream reproduces any chunk in isolation.  Within
+a chunk both kernels consume the stream identically: one scalar-equivalent
+``integers(low, high+1)`` task-set-size draw per *fitted* taxi (in
+ascending taxi order, whether or not the taxi overlaps the pool), then
+one ``sample_costs`` batch for the chunk's emitted users.  The
+``kernel="reference"`` path retains the per-taxi loop as the parity
+oracle.
+
+Feasibility repair is intentionally **not** applied here: boosting or
+dropping needs each task's *global* coverage, which a bounded-memory
+stream never holds.  Callers that need repaired instances use
+``WorkloadGenerator.multi_task_instance``; streaming consumers (the
+experiment pool, the future online-arrival service) treat the pool as
+given and the bids as raw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..core.errors import ValidationError
+from ..core.kernels import resolve_workload_kernel
+from ..core.obshooks import span
+from ..core.types import UserType
+from ..mobility.markov import MarkovMobilityModel
+from ..mobility.markov_kernel import SequenceChunk, fit_fleet, fleet_profiles
+from ..obs.progress import Heartbeat
+from .config import SimulationConfig, table2_defaults
+from .sampling import sample_costs, sample_task_set_size
+
+__all__ = ["StreamedChunk", "stream_instances"]
+
+
+@dataclass(frozen=True)
+class StreamedChunk:
+    """One chunk's worth of generated bids against the stream's task pool."""
+
+    chunk_index: int
+    first_user_id: int
+    task_cells: tuple[int, ...]
+    users: tuple[UserType, ...]
+    taxi_of_user: dict[int, int]
+    #: Fitted taxis whose ranked predictions missed the pool entirely.
+    skipped_taxis: int
+
+    @property
+    def n_users(self) -> int:
+        return len(self.users)
+
+
+def _chunk_rng(seed: int, chunk_index: int) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(chunk_index,)))
+
+
+def _pool_from_profiles(profiles, n_tasks: int) -> tuple[int, ...]:
+    cells, _ = profiles.popular_cells()
+    return tuple(cells[:n_tasks].tolist())
+
+
+def _chunk_vectorized(
+    chunk: SequenceChunk,
+    pool: tuple[int, ...],
+    n_tasks: int,
+    config: SimulationConfig,
+    smoothing: str,
+    rng: np.random.Generator,
+    first_user_id: int,
+    chunk_index: int,
+    max_keep: int,
+) -> tuple[StreamedChunk, tuple[int, ...]]:
+    profiles = fleet_profiles(
+        fit_fleet(chunk), smoothing, config.pos_horizon, max_keep=max_keep
+    )
+    if pool is None:
+        pool = _pool_from_profiles(profiles, n_tasks)
+    n = profiles.n_taxis
+    ks = rng.integers(config.tasks_per_user[0], config.tasks_per_user[1] + 1, size=n)
+    if n == 0:
+        return (
+            StreamedChunk(chunk_index, first_user_id, pool, (), {}, 0),
+            pool,
+        )
+
+    pool_arr = np.asarray(pool, dtype=np.int64)
+    cmin = int(min(int(profiles.ranked_cells.min()), int(pool_arr.min())))
+    cmax = int(max(int(profiles.ranked_cells.max()), int(pool_arr.max())))
+    in_pool = np.zeros(cmax - cmin + 1, dtype=bool)
+    in_pool[pool_arr - cmin] = True
+
+    lens_all = np.diff(profiles.ranked_indptr)
+    hits = in_pool[profiles.ranked_cells - cmin]
+    row_of_flat = np.repeat(np.arange(n, dtype=np.int64), lens_all)
+    inclusive = np.cumsum(hits)
+    before = inclusive - hits
+    base = before[profiles.ranked_indptr[:-1]]
+    hit_rank = before - np.repeat(base, lens_all)
+    select = hits & (hit_rank < np.repeat(ks, lens_all))
+    b_row = row_of_flat[select]
+    b_cell = profiles.ranked_cells[select].tolist()
+    b_pos = profiles.ranked_pos[select].tolist()
+
+    per_row = np.bincount(b_row, minlength=n)
+    # A taxi is emitted when her ranked list overlaps the pool at all, even
+    # if the k-truncation leaves the bundle empty — matching the reference.
+    emit = np.bincount(row_of_flat[hits], minlength=n) > 0
+    n_users = int(emit.sum())
+    costs = sample_costs(config, n_users, rng).tolist()
+    off = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(per_row, out=off[1:])
+    off_l = off.tolist()
+    taxi_l = profiles.taxi_ids.tolist()
+
+    users: list[UserType] = []
+    taxi_of_user: dict[int, int] = {}
+    uid = first_user_id
+    for row in np.nonzero(emit)[0].tolist():
+        a, b = off_l[row], off_l[row + 1]
+        users.append(
+            UserType(uid, cost=costs[uid - first_user_id], pos=dict(zip(b_cell[a:b], b_pos[a:b])))
+        )
+        taxi_of_user[uid] = taxi_l[row]
+        uid += 1
+    return (
+        StreamedChunk(
+            chunk_index, first_user_id, pool, tuple(users), taxi_of_user, n - n_users
+        ),
+        pool,
+    )
+
+
+def _chunk_reference(
+    chunk: SequenceChunk,
+    pool: tuple[int, ...],
+    n_tasks: int,
+    config: SimulationConfig,
+    smoothing: str,
+    rng: np.random.Generator,
+    first_user_id: int,
+    chunk_index: int,
+    max_keep: int,
+) -> tuple[StreamedChunk, tuple[int, ...]]:
+    sequences = {
+        int(chunk.taxi_ids[i]): chunk.sequence_of(i).tolist()
+        for i in range(chunk.n_taxis)
+    }
+    model = MarkovMobilityModel.from_sequences(
+        sequences, smoothing=smoothing, kernel="reference"
+    )
+    ranked: dict[int, list[tuple[int, float]]] = {}
+    for taxi_id in model.taxi_ids:
+        taxi_model = model.model_for(taxi_id)
+        visits = taxi_model.counts.sum(axis=1)
+        current = taxi_model.locations[int(visits.argmax())]
+        profile = model.reach_profile(taxi_id, current, config.pos_horizon)
+        pairs = sorted(profile.items(), key=lambda item: (-item[1], item[0]))
+        ranked[taxi_id] = pairs[:max_keep]
+    if pool is None:
+        counts: dict[int, int] = {}
+        for taxi_id in model.taxi_ids:
+            for cell, _ in ranked[taxi_id]:
+                counts[cell] = counts.get(cell, 0) + 1
+        popular = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        pool = tuple(cell for cell, _ in popular[:n_tasks])
+    pool_set = set(pool)
+
+    bundles: list[tuple[int, dict[int, float]]] = []
+    skipped = 0
+    for taxi_id in model.taxi_ids:
+        k = sample_task_set_size(config, rng)
+        in_pool = [(cell, p) for cell, p in ranked[taxi_id] if cell in pool_set]
+        if not in_pool:
+            skipped += 1
+            continue
+        bundles.append((taxi_id, dict(in_pool[:k])))
+    costs = sample_costs(config, len(bundles), rng)
+    users: list[UserType] = []
+    taxi_of_user: dict[int, int] = {}
+    for offset, ((taxi_id, bundle), cost) in enumerate(zip(bundles, costs)):
+        uid = first_user_id + offset
+        users.append(UserType(uid, cost=float(cost), pos=bundle))
+        taxi_of_user[uid] = taxi_id
+    return (
+        StreamedChunk(
+            chunk_index, first_user_id, pool, tuple(users), taxi_of_user, skipped
+        ),
+        pool,
+    )
+
+
+def stream_instances(
+    chunks: Iterable[SequenceChunk],
+    n_tasks: int,
+    config: SimulationConfig | None = None,
+    seed: int = 0,
+    smoothing: str = "laplace",
+    pool: Sequence[int] | None = None,
+    kernel: str | None = None,
+    tracer=None,
+    console=None,
+) -> Iterator[StreamedChunk]:
+    """Generate auction bids chunk by chunk, with bounded peak memory.
+
+    Args:
+        chunks: Source of per-taxi trace batches; consumed lazily, one at
+            a time.  Taxi ids must not repeat across chunks.
+        n_tasks: Pool size when ``pool`` is derived (from the first
+            chunk's most popular predicted destinations).
+        config: Simulation parameters (defaults to Table II).
+        seed: Stream seed; chunk ``i`` uses
+            ``SeedSequence(seed, spawn_key=(i,))``.
+        smoothing: Markov smoothing variant for the per-chunk fits.
+        pool: Optional fixed task-cell pool; ``None`` derives it from the
+            first chunk and reuses it for every later chunk.
+        kernel: ``"vectorized"`` (array pipeline) or ``"reference"``
+            (per-taxi loops, the parity oracle); ``None`` resolves via
+            :func:`repro.core.kernels.resolve_workload_kernel`.
+        tracer: Duck-typed tracer; each chunk runs in a
+            ``workload.stream_chunk`` span and a ``generation.progress``
+            heartbeat tracks emitted users.
+        console: Optional console callback for the heartbeat line.
+
+    Yields:
+        One :class:`StreamedChunk` per input chunk (possibly with zero
+        users), user ids globally contiguous from 0.
+    """
+    if n_tasks <= 0:
+        raise ValidationError(f"n_tasks must be positive, got {n_tasks!r}")
+    config = config or table2_defaults()
+    resolved = resolve_workload_kernel(kernel)
+    build = _chunk_vectorized if resolved == "vectorized" else _chunk_reference
+    max_keep = max(config.tasks_per_user[1], 20)
+    fixed_pool = tuple(int(c) for c in pool) if pool is not None else None
+    beat = (
+        Heartbeat("generation", tracer=tracer, console=console, kernel=resolved)
+        if tracer is not None or console is not None
+        else None
+    )
+    next_user_id = 0
+    for chunk_index, chunk in enumerate(chunks):
+        rng = _chunk_rng(seed, chunk_index)
+        with span(
+            tracer,
+            "workload.stream_chunk",
+            chunk=chunk_index,
+            n_taxis=chunk.n_taxis,
+            kernel=resolved,
+        ):
+            result, fixed_pool = build(
+                chunk,
+                fixed_pool,
+                n_tasks,
+                config,
+                smoothing,
+                rng,
+                next_user_id,
+                chunk_index,
+                max_keep,
+            )
+        next_user_id += result.n_users
+        if beat is not None:
+            beat.update(result.n_users, chunk=chunk_index)
+        yield result
+    if beat is not None:
+        beat.finish()

@@ -65,6 +65,33 @@ class TestPredictionAccuracy:
             )
 
 
+class TestKernelEquality:
+    """The vectorized Figure-3 path is a drop-in: exact same numbers."""
+
+    def test_fig3_curve_identical_on_testbed(self, testbed):
+        m_values = tuple(range(3, 16))
+        vec = prediction_accuracy(
+            testbed.model, testbed.dataset.held_out, m_values, kernel="vectorized"
+        )
+        ref = prediction_accuracy(
+            testbed.model, testbed.dataset.held_out, m_values, kernel="reference"
+        )
+        assert vec == ref  # exact float equality, not approx
+
+    def test_kernels_agree_on_fallback_rows(self, fitted_model):
+        # Current cell 9 was never visited by taxi 0: the reference falls
+        # back to a uniform row; the batched ranker must do the same.
+        pairs = [TransitionPair(0, 9, 1), TransitionPair(0, 1, 2)]
+        for m_values in ((1,), (1, 2, 3)):
+            vec = prediction_accuracy(
+                fitted_model, pairs, m_values, kernel="vectorized"
+            )
+            ref = prediction_accuracy(
+                fitted_model, pairs, m_values, kernel="reference"
+            )
+            assert vec == ref
+
+
 class TestPosSamples:
     def test_one_sample_per_candidate_location(self, fitted_model):
         samples = predicted_pos_samples(fitted_model)

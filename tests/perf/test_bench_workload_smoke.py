@@ -1,0 +1,106 @@
+"""Smoke-mode run of the workload engine benchmark (tier-1; full sizes `-m perf`).
+
+Drives the exact functions behind ``BENCH_workload.json`` at tiny sizes
+so every tier-1 run proves the harness end to end: synthetic traces
+build, both kernels fit and generate with the parity assert *inside* the
+sweep firing, the dispatch routes agree byte-for-byte, and the stream
+bench's per-chunk accounting adds up.  Speedup magnitudes are not
+asserted here — at smoke sizes fixed setup dominates; the ≥5x bar lives
+in the ``perf``-marked full-size test.
+"""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.bench_workload import (
+    chunk_to_sequences,
+    make_trace_chunk,
+    run_assembly_scaling,
+    run_dispatch_bench,
+    run_stream_bench,
+    run_workload_sweep,
+    write_workload_records,
+)
+
+
+def test_workload_sweep_smoke():
+    record = run_workload_sweep(
+        n_values=(200, 400), reference_max_n=400, seed=21, n_tasks=6,
+        measure_memory=False,
+    )
+    assert record["benchmark"] == "workload_sweep"
+    assert [p["n_taxis"] for p in record["sweep"]] == [200, 400]
+    for point in record["sweep"]:  # instance equality asserted inside
+        assert point["n_users"] == point["n_taxis"] // 2
+        assert point["vectorized_fit_seconds"] > 0.0
+        assert point["vectorized_generate_seconds"] > 0.0
+        assert point["reference_seconds"] > 0.0
+        assert "speedup" in point
+
+
+def test_workload_sweep_caps_the_reference_kernel():
+    record = run_workload_sweep(
+        n_values=(150, 300), reference_max_n=150, seed=13, n_tasks=6,
+        measure_memory=True,
+    )
+    uncapped, capped = record["sweep"]
+    assert "speedup" in uncapped and "reference_seconds" in uncapped
+    assert "speedup" not in capped and "reference_seconds" not in capped
+    assert uncapped["vectorized_peak_mb"] > 0.0  # tracemalloc actually ran
+
+
+def test_assembly_scaling_smoke():
+    record = run_assembly_scaling(small=(80, 8), large=(160, 16), repeats=1, seed=3)
+    assert record["benchmark"] == "workload_assembly_scaling"
+    assert record["small"]["seconds"] > 0.0
+    assert record["large"]["seconds"] > 0.0
+    assert record["ratio"] > 0.0
+
+
+def test_dispatch_bench_smoke():
+    record = run_dispatch_bench(n_users=4_000, workers=2, chunk_size=1_000, seed=5)
+    assert record["benchmark"] == "workload_dispatch"
+    # Byte-equality of serial/pickle/shm was asserted inside the bench.
+    assert record["serial_seconds"] > 0.0
+    assert record["pickle_seconds"] > 0.0
+    assert record["shm_seconds"] > 0.0
+    assert record["speedup"] > 0.0
+    assert record["bytes"] == 4_000 * 2 * 8
+
+
+def test_stream_bench_smoke():
+    record = run_stream_bench(n_taxis=600, chunk_taxis=200, n_tasks=5, seed=9)
+    assert record["benchmark"] == "workload_stream"
+    assert record["n_chunks"] == 3
+    assert 0 < record["n_users"] <= 300
+    assert record["users_per_second"] > 0.0
+    assert record["max_chunk_peak_mb"] > 0.0
+    assert record["peak_flatness"] >= 1.0
+
+
+def test_make_trace_chunk_is_deterministic_and_offset():
+    a = make_trace_chunk(50, seed=3)
+    b = make_trace_chunk(50, seed=3)
+    assert (a.cells == b.cells).all()
+    shifted = make_trace_chunk(50, seed=3, first_taxi_id=100)
+    assert shifted.taxi_ids.tolist() == list(range(100, 150))
+    seqs = chunk_to_sequences(a)
+    assert len(seqs) == 50 and all(len(s) == 24 for s in seqs.values())
+
+
+def test_write_workload_records_merges_by_benchmark(tmp_path):
+    path = tmp_path / "workload.json"
+    write_workload_records(
+        [{"benchmark": "workload_sweep", "sweep": [{"n_taxis": 5}]}], path=path
+    )
+    write_workload_records(
+        [
+            {"benchmark": "workload_sweep", "sweep": [{"n_taxis": 9}]},
+            {"benchmark": "workload_dispatch", "n_users": 7},
+        ],
+        path=path,
+    )
+    records = json.loads(path.read_text())["records"]
+    assert records["workload_sweep"]["sweep"] == [{"n_taxis": 9}]  # overwritten
+    assert records["workload_dispatch"]["n_users"] == 7  # merged alongside

@@ -1,0 +1,173 @@
+"""Shared-memory array packs + ``ExperimentRunner.map_workload``.
+
+The dispatch layer's guarantees: a pack round-trips arrays bit-for-bit
+through a named segment, attach never double-books the resource tracker,
+and ``map_workload`` returns byte-identical results whether the arrays
+travel serially, as pickles, or as one shm handle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.simulation.parallel import (
+    _SHM_AUTO_THRESHOLD,
+    ExperimentRunner,
+    _attached_pack,
+    _ATTACHED_PACKS,
+    _MAX_ATTACHED,
+)
+from repro.simulation.shm import SharedArrayHandle, SharedArrayPack
+
+
+def sample_arrays():
+    rng = np.random.default_rng(7)
+    return {
+        "cost": rng.normal(15.0, 3.0, size=257),
+        "pos": rng.random((257, 4)),
+        "taxi": np.arange(257, dtype=np.int64),
+        "flags": rng.random(257) < 0.5,
+    }
+
+
+class TestSharedArrayPack:
+    def test_create_attach_roundtrip_bit_identical(self):
+        arrays = sample_arrays()
+        with SharedArrayPack.create(arrays) as pack:
+            attached = SharedArrayPack.attach(pack.handle)
+            try:
+                assert set(attached.arrays) == set(arrays)
+                for name, original in arrays.items():
+                    view = attached.arrays[name]
+                    assert view.dtype == original.dtype
+                    assert view.shape == original.shape
+                    assert view.tobytes() == original.tobytes()
+            finally:
+                attached.close()
+
+    def test_views_are_aligned_and_zero_copy(self):
+        arrays = sample_arrays()
+        with SharedArrayPack.create(arrays) as pack:
+            for name, (_, _, _, offset) in zip(
+                [s[0] for s in pack.handle.specs], pack.handle.specs
+            ):
+                assert offset % 64 == 0, name
+            # Writing through one mapping is visible through another:
+            # the views share physical pages, nothing was copied.
+            attached = SharedArrayPack.attach(pack.handle)
+            try:
+                pack.arrays["cost"][0] = 123.5
+                assert attached.arrays["cost"][0] == 123.5
+            finally:
+                attached.close()
+
+    def test_handle_is_small_and_picklable(self):
+        import pickle
+
+        big = {"x": np.zeros(1_000_000)}
+        with SharedArrayPack.create(big) as pack:
+            blob = pickle.dumps(pack.handle)
+            assert len(blob) < 4096
+            clone = pickle.loads(blob)
+            assert clone == pack.handle
+            assert clone.total_bytes >= 8_000_000
+
+    def test_empty_and_object_arrays_rejected(self):
+        with pytest.raises(ValidationError):
+            SharedArrayPack.create({})
+        with pytest.raises(ValidationError):
+            SharedArrayPack.create({"bad": np.array([object()])})
+
+    def test_dispose_unlinks_segment(self):
+        pack = SharedArrayPack.create({"x": np.arange(10.0)})
+        handle = pack.handle
+        pack.dispose()
+        with pytest.raises(FileNotFoundError):
+            SharedArrayPack.attach(handle)
+
+    def test_dispose_twice_is_safe(self):
+        pack = SharedArrayPack.create({"x": np.arange(4.0)})
+        pack.dispose()
+        pack.dispose()
+
+    def test_attach_cache_is_bounded(self):
+        """The worker-side pack cache evicts oldest beyond its cap."""
+        packs = [SharedArrayPack.create({"x": np.arange(3.0) + i}) for i in range(6)]
+        try:
+            before = dict(_ATTACHED_PACKS)
+            _ATTACHED_PACKS.clear()
+            for pack in packs:
+                _attached_pack(pack.handle)
+            assert len(_ATTACHED_PACKS) <= _MAX_ATTACHED
+            # Most recent handle survives; the very first was evicted.
+            assert packs[-1].handle.shm_name in _ATTACHED_PACKS
+            assert packs[0].handle.shm_name not in _ATTACHED_PACKS
+        finally:
+            for name in list(_ATTACHED_PACKS):
+                _ATTACHED_PACKS.pop(name).close()
+            _ATTACHED_PACKS.update(before)
+            for pack in packs:
+                pack.dispose()
+
+
+def weighted_sum_fn(arrays, sl):
+    """Module-level so the pool can import it by reference."""
+    return float(np.sum(arrays["cost"][sl] * arrays["weight"][sl]))
+
+
+def bytes_fn(arrays, sl):
+    return np.cumsum(arrays["cost"][sl]).tobytes()
+
+
+class TestMapWorkload:
+    def arrays(self, n=5_000):
+        rng = np.random.default_rng(11)
+        return {"cost": rng.normal(15.0, 3.0, n), "weight": rng.random(n)}
+
+    def test_serial_matches_parallel_all_routes(self):
+        arrays = self.arrays()
+        with ExperimentRunner(workers=1) as serial:
+            expect = serial.map_workload(arrays, bytes_fn, chunk_size=700)
+        with ExperimentRunner(workers=2) as runner:
+            for via in ("pickle", "shm", "auto"):
+                got = runner.map_workload(arrays, bytes_fn, via=via, chunk_size=700)
+                assert got == expect, via
+
+    def test_results_come_back_in_slice_order(self):
+        arrays = self.arrays(2_000)
+        with ExperimentRunner(workers=2) as runner:
+            results = runner.map_workload(
+                arrays, weighted_sum_fn, via="pickle", chunk_size=250
+            )
+        assert len(results) == 8
+        starts = [i * 250 for i in range(8)]
+        for start, value in zip(starts, results):
+            sl = slice(start, start + 250)
+            assert value == weighted_sum_fn(arrays, sl)
+
+    def test_auto_threshold_picks_route_by_payload(self):
+        small = {"cost": np.zeros(8), "weight": np.zeros(8)}
+        assert small["cost"].nbytes + small["weight"].nbytes < _SHM_AUTO_THRESHOLD
+        with ExperimentRunner(workers=2) as runner:
+            # Both routes must work regardless of which "auto" picks.
+            assert runner.map_workload(
+                small, weighted_sum_fn, via="auto", chunk_size=8
+            ) == [0.0]
+
+    def test_invalid_via_and_empty_arrays_rejected(self):
+        with ExperimentRunner(workers=1) as runner:
+            with pytest.raises(ValidationError):
+                runner.map_workload(self.arrays(8), weighted_sum_fn, via="carrier-pigeon")
+            with pytest.raises(ValidationError):
+                runner.map_workload({}, weighted_sum_fn)
+
+    def test_zero_items_returns_empty(self):
+        with ExperimentRunner(workers=1) as runner:
+            assert runner.map_workload(self.arrays(8), weighted_sum_fn, n_items=0) == []
+
+    def test_no_segment_leaks_after_shm_map(self):
+        arrays = self.arrays(1_000)
+        with ExperimentRunner(workers=2) as runner:
+            runner.map_workload(arrays, weighted_sum_fn, via="shm", chunk_size=300)
+        # The creator disposed its pack; nothing to attach any more.
+        # (A leak would leave a named segment and a tracker warning at exit.)

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.__main__ import EXPERIMENTS, build_parser, main
-from repro.core.kernels import ENV_KERNEL, ENV_PRICE_WORKERS
+from repro.core.kernels import ENV_KERNEL, ENV_PRICE_WORKERS, ENV_WORKLOAD_KERNEL
 
 
 class TestParser:
@@ -89,6 +89,61 @@ class TestKernelFlag:
         assert main([*args, "--kernel", "vectorized", "--resume", str(out_dir)]) == 2
         err = capsys.readouterr().err
         assert "kernel" in err and "reference" in err
+
+
+class TestWorkloadKernelFlag:
+    def test_parser_rejects_unknown_workload_kernel(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig4", "--workload-kernel", "dense"])
+
+    def test_workload_kernel_lands_in_manifest_and_environment(
+        self, tmp_path, monkeypatch
+    ):
+        # Seed through monkeypatch so the CLI's export is undone at teardown.
+        monkeypatch.setenv(ENV_WORKLOAD_KERNEL, "vectorized")
+        out_dir = tmp_path / "run"
+        assert (
+            main(
+                ["run", "fig4", "--n-taxis", "60", "--seed", "5", "--quick",
+                 "--workload-kernel", "reference", "--out-dir", str(out_dir)]
+            )
+            == 0
+        )
+        manifest = json.loads((out_dir / "MANIFEST.json").read_text())
+        assert manifest["config"]["workload_kernel"] == "reference"
+        import os
+
+        # Exported so experiment workers generate with the same engine.
+        assert os.environ[ENV_WORKLOAD_KERNEL] == "reference"
+
+    def test_default_records_resolved_kernel_in_manifest(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(ENV_WORKLOAD_KERNEL, raising=False)
+        out_dir = tmp_path / "run"
+        assert (
+            main(["run", "fig4", "--n-taxis", "60", "--seed", "5", "--quick",
+                  "--out-dir", str(out_dir)])
+            == 0
+        )
+        manifest = json.loads((out_dir / "MANIFEST.json").read_text())
+        assert manifest["config"]["workload_kernel"] == "vectorized"
+
+    def test_resume_refuses_workload_kernel_mismatch(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv(ENV_WORKLOAD_KERNEL, "vectorized")
+        out_dir = tmp_path / "run"
+        args = ["run", "fig4", "--n-taxis", "60", "--seed", "5", "--quick"]
+        assert (
+            main([*args, "--workload-kernel", "reference", "--out-dir", str(out_dir)])
+            == 0
+        )
+        monkeypatch.setenv(ENV_WORKLOAD_KERNEL, "vectorized")  # undo the export
+        assert (
+            main([*args, "--workload-kernel", "vectorized", "--resume", str(out_dir)])
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "workload_kernel" in err and "reference" in err
 
 
 class TestPriceWorkersFlag:

@@ -120,6 +120,30 @@ class TestSweepExpansion:
         comparisons, _, _ = compare(records, records)
         assert comparisons and not any(c.regressed for c in comparisons)
 
+    def test_checked_in_workload_dump_compares_clean_against_itself(self):
+        from benchmarks.bench_workload import BENCH_WORKLOAD_PATH
+
+        records = load_records(BENCH_WORKLOAD_PATH)
+        comparisons, _, _ = compare(records, records)
+        assert comparisons and not any(c.regressed for c in comparisons)
+        # The n-sweep expands into per-size keys so a regression at one
+        # fleet size is flagged at that size.
+        assert any(c.key.startswith("workload_sweep@n=") for c in comparisons)
+        # The dispatch record's shm-vs-pickle speedup joins the gate too.
+        assert any(c.key == "workload_dispatch" for c in comparisons)
+
+    def test_workload_sweep_regression_flagged_at_its_size(self):
+        from benchmarks.bench_workload import BENCH_WORKLOAD_PATH
+
+        records = load_records(BENCH_WORKLOAD_PATH)
+        bad = json.loads(json.dumps(records))
+        point = bad["workload_sweep"]["sweep"][-1]
+        point["speedup"] = point["speedup"] * 0.1
+        size_key = f"workload_sweep@n={point['n_users']}"
+        comparisons, _, _ = compare(records, bad, tolerance=0.8)
+        flagged = {c.key: c.regressed for c in comparisons}
+        assert flagged[size_key] is True
+
 
 class TestLoadAndMain:
     def test_load_records_rejects_non_dump(self, tmp_path):
