@@ -1,0 +1,212 @@
+"""Queue-coordination overhead: claim throughput, contention, reclaim cost.
+
+The SQLite queue (:mod:`repro.queue`) exists so N worker processes can
+drain one cell grid crash-safely.  Its coordination cost — one
+``UPDATE…RETURNING`` claim plus one conditioned commit per cell — must
+stay negligible next to cell execution (real cells run for seconds;
+claims should run in the low milliseconds even under contention).  This
+bench measures exactly that, with *empty* cells so nothing but the
+coordination layer is on the clock:
+
+* **claim throughput** — W threads, each with its own database
+  connection, drain an N-cell queue of no-op cells; the record keeps
+  cells/second per worker count, and asserts exactly-once inside the
+  loop (total dones == N at every W);
+* **reclaim sweep** — N cells are claimed by a "dead" worker whose lease
+  is already expired; a live worker then drains the queue, paying one
+  lease reclamation per cell (the crash-recovery path end to end).
+
+Full-size runs are marked ``perf`` and write ``BENCH_queue.json`` at the
+repo root plus one ledger line per record (:mod:`benchmarks.history`);
+the throughput record uses the same ``{"sweep": [...]}`` shape as
+``BENCH_kernels.json``, so :mod:`benchmarks.compare_bench` flags a
+regression at the worker count where it happens.  The smoke-size run in
+``tests/perf/test_bench_queue_smoke.py`` drives the same functions on
+every tier-1 pass.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.queue import SqliteBackend
+from repro.simulation.checkpoint import CellRecord
+
+BENCH_QUEUE_PATH = Path(__file__).resolve().parent.parent / "BENCH_queue.json"
+
+#: Parameters stamped on every synthetic cell (content is irrelevant to
+#: the queue layer; it only round-trips them as canonical JSON).
+BENCH_PARAMS = {"bench": True, "repeats": 1}
+
+
+def fill_queue(db_path: Path, n_cells: int, experiment: str = "bench") -> None:
+    """Insert ``n_cells`` no-op pending cells into a fresh queue."""
+    with SqliteBackend(db_path) as backend:
+        backend.insert_cells(
+            experiment,
+            BENCH_PARAMS,
+            [(i, f"cell-{i:06d}") for i in range(n_cells)],
+        )
+
+
+def drain_with_threads(
+    db_path: Path, n_workers: int, lease_seconds: float = 60.0
+) -> dict[str, int]:
+    """Drain the queue with ``n_workers`` threads; per-worker done counts.
+
+    Each thread opens its *own* connection (as separate processes would)
+    and loops claim → mark_done with an empty result, so the wall clock
+    is pure coordination: the claim UPDATE, the record encode, and the
+    conditioned commit.
+    """
+    dones: dict[str, int] = {}
+
+    def worker(worker_id: str) -> None:
+        count = 0
+        with SqliteBackend(db_path) as backend:
+            while True:
+                claim = backend.claim_next(worker_id, lease_seconds)
+                if claim is None:
+                    break
+                record = CellRecord(
+                    claim.experiment,
+                    claim.cell_id,
+                    claim.index,
+                    params=claim.params,
+                    values={"value": float(claim.index)},
+                    seconds=0.0,
+                    pid=os.getpid(),
+                )
+                if backend.mark_done(record, worker=worker_id):
+                    count += 1
+        dones[worker_id] = count
+
+    threads = [
+        threading.Thread(target=worker, args=(f"w{i}",)) for i in range(n_workers)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return dones
+
+
+def run_claim_throughput(
+    n_cells: int = 2_000,
+    worker_counts: tuple[int, ...] = (1, 2, 4, 8),
+) -> dict:
+    """Cells/second a W-thread fleet sustains on an ``n_cells`` queue.
+
+    Exactly-once is asserted at every point: per-worker dones sum to
+    ``n_cells`` and the final state histogram is all-done — a thread
+    double-claiming or double-committing fails the bench, not just the
+    unit tests.
+    """
+    points = []
+    for n_workers in worker_counts:
+        with tempfile.TemporaryDirectory() as tmp:
+            db_path = Path(tmp) / "queue.db"
+            fill_queue(db_path, n_cells)
+            start = time.perf_counter()
+            dones = drain_with_threads(db_path, n_workers)
+            elapsed = time.perf_counter() - start
+            assert sum(dones.values()) == n_cells, dones
+            with SqliteBackend(db_path) as backend:
+                counts = backend.counts()
+            assert counts == {
+                "pending": 0, "claimed": 0, "done": n_cells, "failed": 0,
+            }, counts
+        points.append(
+            {
+                "workers": n_workers,
+                "n_cells": n_cells,
+                "seconds": round(elapsed, 6),
+                "cells_per_second": round(n_cells / max(elapsed, 1e-12), 1),
+            }
+        )
+    return {"benchmark": "queue_claim_throughput", "n_cells": n_cells, "sweep": points}
+
+
+def run_reclaim_bench(n_cells: int = 500) -> dict:
+    """Cost of the crash-recovery path: every cell reclaimed once.
+
+    A "dead" worker claims every cell on a frozen clock (epoch 0), so its
+    leases are long expired from any real-clock viewpoint — but not from
+    its own, which is what keeps it from endlessly re-claiming its own
+    expired cells while it fills up.  A live worker then drains the
+    queue, each claim first sweeping one expired lease back to pending.
+    The record keeps the drain rate and asserts one reclaim per cell.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        db_path = Path(tmp) / "queue.db"
+        fill_queue(db_path, n_cells)
+        with SqliteBackend(db_path, clock=lambda: 0.0) as backend:
+            claimed = 0
+            while backend.claim_next("dead", lease_seconds=60.0) is not None:
+                claimed += 1
+            assert claimed == n_cells
+        start = time.perf_counter()
+        dones = drain_with_threads(db_path, n_workers=1)
+        elapsed = time.perf_counter() - start
+        assert dones == {"w0": n_cells}, dones
+        with SqliteBackend(db_path) as backend:
+            n_reclaims = len(backend.reclaim_log(limit=n_cells + 1))
+            n_done = len(backend.load_completed())
+        assert n_reclaims == n_cells, n_reclaims
+        assert n_done == n_cells
+    return {
+        "benchmark": "queue_reclaim",
+        "n_cells": n_cells,
+        "seconds": round(elapsed, 6),
+        "cells_per_second": round(n_cells / max(elapsed, 1e-12), 1),
+        "reclaims": n_reclaims,
+    }
+
+
+def write_queue_records(records: list[dict], path: Path = BENCH_QUEUE_PATH) -> Path:
+    """Merge records into ``BENCH_queue.json``, keyed by benchmark."""
+    existing = {"records": {}}
+    if path.exists():
+        existing = json.loads(path.read_text())
+        existing.setdefault("records", {})
+    for record in records:
+        existing["records"][record["benchmark"]] = record
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+@pytest.mark.perf
+def test_queue_coordination_full_size():
+    """Acceptance: coordination stays cheap — ≥200 no-op cells/s serial,
+    and contention at 8 workers does not collapse below half of that."""
+    throughput = run_claim_throughput()
+    reclaim = run_reclaim_bench()
+    write_queue_records([throughput, reclaim])
+    from benchmarks.history import append_history
+
+    append_history({r["benchmark"]: r for r in (throughput, reclaim)})
+
+    by_workers = {p["workers"]: p for p in throughput["sweep"]}
+    serial_rate = by_workers[1]["cells_per_second"]
+    contended_rate = by_workers[max(by_workers)]["cells_per_second"]
+    assert serial_rate >= 200.0, by_workers[1]
+    assert contended_rate >= serial_rate / 2, (serial_rate, contended_rate)
+    assert reclaim["cells_per_second"] >= 100.0, reclaim
+
+    print("\nqueue claim throughput (no-op cells, one db):")
+    for p in throughput["sweep"]:
+        print(
+            f"  workers={p['workers']}  {p['cells_per_second']:>8.1f} cells/s  "
+            f"({p['seconds']:.3f}s for {p['n_cells']})"
+        )
+    print(
+        f"reclaim path: {reclaim['cells_per_second']:.1f} cells/s with one "
+        f"lease reclamation per cell ({reclaim['reclaims']} reclaims)"
+    )

@@ -9,6 +9,8 @@ Usage::
     python -m repro run fig5b --trace --quick --out-dir /tmp/demo
     python -m repro run all --resume runs/all-20260806-091500
     python -m repro report /tmp/demo
+    python -m repro enqueue all --quick --out-dir /tmp/q
+    python -m repro worker /tmp/q
 
 Each experiment prints the same rows/series the paper's figure plots (see
 EXPERIMENTS.md for the paper-vs-measured comparison; docs/RUNNING.md for
@@ -25,6 +27,13 @@ cells its checkpoint is missing.  ``--trace`` additionally streams the
 full span hierarchy and auction audit trail into the JSONL; ``report``
 reconstructs stage timings, reuse fractions, and per-winner payment
 explanations from that directory alone.
+
+For multi-process (or multi-host, over a shared filesystem) runs,
+``enqueue`` populates a SQLite cell queue (``queue.db``) instead of
+executing anything, any number of ``worker`` processes drain it with
+crash-safe lease reclamation, and ``run --resume <dir> --backend sqlite``
+aggregates the drained cells into the usual CSVs — byte-identical to a
+serial ``run``.  See docs/DISTRIBUTED.md for the operator's guide.
 """
 
 from __future__ import annotations
@@ -51,7 +60,16 @@ from .obs.metrics import MetricsRegistry
 from .obs.profiler import build_profile, write_profile
 from .obs.progress import PROGRESS_SUFFIX, format_progress, progress_printer
 from .simulation import experiments as exp
-from .simulation.checkpoint import CHECKPOINT_NAME, CheckpointLog, load_checkpoint
+from .queue import (
+    QUEUE_DB_NAME,
+    JsonlBackend,
+    QueueWorker,
+    SqliteBackend,
+    default_worker_id,
+    enqueue_grids,
+)
+from .queue.worker import tuplify_overrides
+from .simulation.checkpoint import CHECKPOINT_NAME
 from .simulation.parallel import ExperimentRunner
 
 #: experiment id -> (driver, testbed kind); ids double as GRIDS keys.
@@ -198,6 +216,80 @@ def build_parser() -> argparse.ArgumentParser:
         f"(default: auto, or the {ENV_PRICE_WORKERS} environment "
         "variable); prices are bit-identical at any count",
     )
+    run.add_argument(
+        "--backend",
+        choices=["jsonl", "sqlite"],
+        default="jsonl",
+        help="cell-ledger backend: 'jsonl' (checkpoint.jsonl, the default, "
+        "unchanged bit for bit) or 'sqlite' (queue.db — the store "
+        "'repro worker' processes share); results are identical",
+    )
+
+    enqueue = sub.add_parser(
+        "enqueue",
+        help="populate a SQLite cell queue for 'repro worker' processes "
+        "(no cells execute)",
+    )
+    enqueue.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    enqueue.add_argument(
+        "--n-taxis", type=int, default=250, help="fleet size (default 250)"
+    )
+    enqueue.add_argument(
+        "--seed", type=int, default=42, help="testbed RNG seed (default 42)"
+    )
+    enqueue.add_argument(
+        "--quick",
+        action="store_true",
+        help="enqueue the smoke-test grid sizes (same shrink as 'run --quick')",
+    )
+    enqueue.add_argument(
+        "--out-dir",
+        type=Path,
+        default=None,
+        help="queue directory for MANIFEST/queue.db/events.jsonl "
+        "(default runs/<run-id>)",
+    )
+    enqueue.add_argument(
+        "--set",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="override one grid parameter (VALUE is JSON, e.g. "
+        "--set 'n_users_list=[10,12,14]' --set repeats=5); repeatable, "
+        "applied to every enqueued experiment",
+    )
+
+    worker = sub.add_parser(
+        "worker", help="drain a queue directory written by 'enqueue'"
+    )
+    worker.add_argument(
+        "run_dir", type=Path, help="queue directory holding queue.db"
+    )
+    worker.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable identity for claims and events (default <host>-<pid>)",
+    )
+    worker.add_argument(
+        "--lease",
+        type=float,
+        default=60.0,
+        help="claim lease in seconds; a dead worker's cell is reclaimed "
+        "after at most this long (default 60)",
+    )
+    worker.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        help="seconds between claim attempts while peers hold leases "
+        "(default 0.5)",
+    )
+    worker.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        help="stop after this many cells (default: drain the queue)",
+    )
 
     report = sub.add_parser(
         "report", help="reconstruct a run from its manifest + events.jsonl"
@@ -251,12 +343,12 @@ def _price_workers_spec(args: argparse.Namespace) -> str:
 
 
 def _open_resume(args: argparse.Namespace) -> tuple[str, Path, dict] | int:
-    """Validate ``--resume`` and load the prior run's checkpoint.
+    """Validate ``--resume`` against the prior run's manifest.
 
-    Returns ``(run_id, out_dir, completed)`` or an exit code on refusal: a
-    checkpoint only describes the configuration it was written under, so
-    resuming with a different experiment set / seed / fleet / quick flag
-    would silently mix incompatible results.
+    Returns ``(run_id, out_dir, prior_config)`` or an exit code on
+    refusal: a checkpoint only describes the configuration it was written
+    under, so resuming with a different experiment set / seed / fleet /
+    quick flag / ledger backend would silently mix incompatible results.
     """
     out_dir = args.resume
     manifest_ok = (out_dir / "MANIFEST.json").exists()
@@ -290,6 +382,10 @@ def _open_resume(args: argparse.Namespace) -> tuple[str, Path, dict] | int:
             _price_workers_spec(args),
             prior.config.get("price_workers", _price_workers_spec(args)),
         ),
+        # A queue directory's cells live in queue.db, a classic run's in
+        # checkpoint.jsonl; resuming with the wrong --backend would see an
+        # empty ledger and silently recompute everything.
+        ("backend", args.backend, prior.config.get("backend", "jsonl")),
     ):
         if ours != theirs:
             mismatches.append(f"{label}: run has {theirs!r}, command asks {ours!r}")
@@ -300,8 +396,7 @@ def _open_resume(args: argparse.Namespace) -> tuple[str, Path, dict] | int:
             file=sys.stderr,
         )
         return 2
-    completed = load_checkpoint(out_dir / CHECKPOINT_NAME)
-    return prior.run_id, out_dir, completed
+    return prior.run_id, out_dir, dict(prior.config)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -320,7 +415,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         resolve_price_workers(args.price_workers)  # fail fast on a typo
         os.environ[ENV_PRICE_WORKERS] = str(args.price_workers)
     price_workers = _price_workers_spec(args)
-    completed: dict = {}
+    resume_overrides: dict | None = None
     if args.resume is not None:
         if args.out_dir is not None:
             print(
@@ -331,12 +426,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         opened = _open_resume(args)
         if isinstance(opened, int):
             return opened
-        run_id, out_dir, completed = opened
-        if not quiet:
-            print(f"# resuming {run_id}: {len(completed)} cell(s) already checkpointed")
+        run_id, out_dir, prior_config = opened
+        # A queue directory records the overrides its cells were enqueued
+        # with (possibly --set customised); reuse them so the resumed run
+        # resolves the exact same grid.  Pre-queue manifests have no
+        # "overrides" key and fall back to the --quick rule below.
+        resume_overrides = prior_config.get("overrides")
     else:
         run_id = new_run_id(args.experiment)
         out_dir = args.out_dir if args.out_dir is not None else Path("runs") / run_id
+
+    if resume_overrides is not None:
+        overrides_by_name = {
+            name: tuplify_overrides(resume_overrides.get(name) or {}) for name in names
+        }
+    else:
+        overrides_by_name = {
+            name: (dict(QUICK_OVERRIDES.get(name, {})) if args.quick else {})
+            for name in names
+        }
 
     manifest = RunManifest(
         run_id=run_id,
@@ -354,6 +462,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "kernel": kernel,
             "workload_kernel": workload_kernel,
             "price_workers": price_workers,
+            "backend": args.backend,
+            "overrides": overrides_by_name,
         },
         events_file="events.jsonl",
     )
@@ -410,18 +520,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     }
                 )
 
-        with CheckpointLog(out_dir / CHECKPOINT_NAME) as checkpoint, ExperimentRunner(
+        if args.backend == "sqlite":
+            ledger = SqliteBackend(out_dir / QUEUE_DB_NAME)
+        else:
+            ledger = JsonlBackend(out_dir / CHECKPOINT_NAME)
+        completed = ledger.load_completed() if args.resume is not None else {}
+        if args.resume is not None and not quiet:
+            print(f"# resuming {run_id}: {len(completed)} cell(s) already checkpointed")
+        with ledger, ExperimentRunner(
             workers=args.workers,
             n_taxis=args.n_taxis,
             seed=args.seed,
             chunk_size=args.chunk_size,
             tracer=tracer,
             metrics=metrics,
-            checkpoint=checkpoint,
+            backend=ledger,
             completed=completed,
         ) as runner:
             for name in names:
-                overrides = dict(QUICK_OVERRIDES.get(name, {})) if args.quick else {}
+                overrides = overrides_by_name[name]
                 result, stats = runner.run(name, overrides)
                 manifest.cells[name] = stats
                 csv_name = f"{name}.csv"
@@ -498,6 +615,161 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_set_overrides(pairs: list[str]) -> dict:
+    """Parse repeated ``--set KEY=VALUE`` flags (VALUE is JSON).
+
+    ``--set 'n_users_list=[10,12,14]'`` → ``{"n_users_list": (10, 12, 14)}``
+    (lists become the tuples grid defaults use).  A VALUE that is not
+    valid JSON is taken as a bare string, so ``--set foo=bar`` works.
+    """
+    overrides: dict = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"--set expects KEY=VALUE, got {pair!r}")
+        try:
+            value = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        overrides[key.strip()] = value
+    return tuplify_overrides(overrides)
+
+
+def _cmd_enqueue(args: argparse.Namespace) -> int:
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    kernel = resolve_kernel(None)
+    workload_kernel = resolve_workload_kernel(None)
+    args.price_workers = None  # enqueue has no flag; record the env/default
+    price_workers = _price_workers_spec(args)
+    try:
+        sets = _parse_set_overrides(args.set or [])
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    overrides_by_name = {}
+    for name in names:
+        overrides = dict(QUICK_OVERRIDES.get(name, {})) if args.quick else {}
+        overrides.update(sets)
+        overrides_by_name[name] = overrides
+
+    run_id = new_run_id(f"queue-{args.experiment}")
+    out_dir = args.out_dir if args.out_dir is not None else Path("runs") / run_id
+    manifest = RunManifest(
+        run_id=run_id,
+        command="enqueue",
+        experiments=names,
+        seed=args.seed,
+        config={
+            # The same keys `run` records, so `run --resume <dir> --backend
+            # sqlite` passes resume validation and aggregates the drain.
+            "n_taxis": args.n_taxis,
+            "quick": args.quick,
+            "trace": False,
+            "experiment": args.experiment,
+            "workers": None,
+            "chunk_size": None,
+            "resumed": False,
+            "kernel": kernel,
+            "workload_kernel": workload_kernel,
+            "price_workers": price_workers,
+            "backend": "sqlite",
+            "overrides": overrides_by_name,
+        },
+        events_file="events.jsonl",
+    )
+    manifest.write(out_dir)
+    with SqliteBackend(out_dir / QUEUE_DB_NAME) as backend:
+        try:
+            inserted = enqueue_grids(
+                backend,
+                names,
+                overrides_by_name,
+                n_taxis=args.n_taxis,
+                seed=args.seed,
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        # Workers rebuild the compute configuration from queue meta, so a
+        # worker shell needs no kernel flags or environment of its own.
+        backend.set_meta("kernel", kernel)
+        backend.set_meta("workload_kernel", workload_kernel)
+        backend.set_meta("price_workers", price_workers)
+        counts = backend.counts()
+    with EventLog(out_dir / "events.jsonl") as log:
+        log.append(
+            {
+                "type": "event",
+                "span_id": None,
+                "name": "queue.enqueued",
+                "experiments": names,
+                "cells": sum(inserted.values()),
+                "pending": counts["pending"],
+            }
+        )
+    for name in names:
+        print(f"# {name:<20} {inserted[name]:>4} cell(s) enqueued")
+    print(f"# queue: {out_dir / QUEUE_DB_NAME} ({counts['pending']} pending)")
+    print(f"# drain with:     python -m repro worker {out_dir}   (any number of shells)")
+    print(f"# watch with:     python -m repro report {out_dir} --html --watch")
+    print(
+        f"# collect with:   python -m repro run {args.experiment} "
+        f"--resume {out_dir} --backend sqlite"
+        + (" --quick" if args.quick else "")
+        + (f" --n-taxis {args.n_taxis}" if args.n_taxis != 250 else "")
+        + (f" --seed {args.seed}" if args.seed != 42 else "")
+    )
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    run_dir = args.run_dir
+    db_path = run_dir / QUEUE_DB_NAME
+    if not db_path.exists():
+        print(
+            f"error: no {QUEUE_DB_NAME} in {run_dir} (create one with "
+            "'python -m repro enqueue')",
+            file=sys.stderr,
+        )
+        return 2
+    worker_id = args.worker_id or default_worker_id()
+    with SqliteBackend(db_path) as backend:
+        # Adopt the queue's compute configuration (recorded by enqueue) so
+        # every worker — and any child processes — resolves identically.
+        for env_key, meta_key in (
+            (ENV_KERNEL, "kernel"),
+            (ENV_WORKLOAD_KERNEL, "workload_kernel"),
+            (ENV_PRICE_WORKERS, "price_workers"),
+        ):
+            value = backend.get_meta(meta_key)
+            if value is not None:
+                os.environ[env_key] = str(value)
+        with EventLog(run_dir / "events.jsonl") as log:
+            worker = QueueWorker(
+                backend,
+                worker_id=worker_id,
+                lease_seconds=args.lease,
+                poll_seconds=args.poll,
+                max_cells=args.max_cells,
+                event_sink=log.append,
+            )
+            print(
+                f"# worker {worker_id} draining {db_path} "
+                f"(lease {worker.lease_seconds:.0f}s)"
+            )
+            stats = worker.run()
+        counts = backend.counts()
+    print(
+        f"# worker {worker_id}: {stats['done']} done, {stats['failed']} failed, "
+        f"{stats['lost_leases']} lost lease(s) in {stats['seconds']:.1f}s"
+    )
+    print(
+        "# queue now: "
+        + ", ".join(f"{state}={count}" for state, count in counts.items())
+    )
+    return 1 if stats["failed"] else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     run_dir = args.run_dir
     if not run_dir.exists():
@@ -560,6 +832,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "enqueue":
+        return _cmd_enqueue(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     return _cmd_run(args)
 
 

@@ -6,6 +6,10 @@ dependencies** — openable from a file:// URL on an air-gapped machine:
 
 * manifest provenance (run id, seed, config, platform, packages);
 * live progress (latest ``*.progress`` heartbeat per phase);
+* the distributed queue, when the directory holds a ``queue.db``:
+  per-state cell counts, per-worker liveness from heartbeat age, and
+  the reclaimed-lease log (read-only — rendering never touches a live
+  queue);
 * a stage-timing **waterfall** built from span ``ts`` offsets;
 * the span profiler's hotspot attribution (self vs child time);
 * metrics tables (``metrics.json``) and per-experiment summaries;
@@ -450,6 +454,90 @@ def _section_metrics(run_dir: Path) -> str:
     return "".join(out) if len(out) > 1 else ""
 
 
+def _section_queue(run_dir: Path) -> str:
+    """Distributed-queue panel: per-state counts, worker liveness from
+    heartbeat age, and the reclaimed-lease log.  Empty (and absent from
+    the page) unless the run directory holds a ``queue.db``."""
+    # Imported lazily: the obs layer stays importable without the queue
+    # package, and runs without a queue never pay for it.
+    from ..queue.sqlite_backend import QUEUE_DB_NAME, queue_snapshot
+
+    snapshot = queue_snapshot(run_dir / QUEUE_DB_NAME)
+    if snapshot is None:
+        return ""
+    now = time.time()
+    counts = snapshot["counts"]
+    total = sum(counts.values())
+    done_frac = counts["done"] / total if total else 0.0
+    out = [
+        "<h2>Queue</h2>",
+        f"<p>drain <span class='bar-track'><span class='bar-fill' "
+        f"style='width:{done_frac:.0%}'></span></span> "
+        f"<span class='meta'>{counts['done']}/{total} done · "
+        f"{counts['pending']} pending · {counts['claimed']} claimed · "
+        f"{counts['failed']} failed</span></p>",
+    ]
+    rows = [
+        [exp, states["pending"], states["claimed"], states["done"], states["failed"]]
+        for exp, states in sorted(snapshot["by_experiment"].items())
+    ]
+    if rows:
+        out.append(
+            _table(["experiment", "pending", "claimed", "done", "failed"], rows)
+        )
+    if snapshot["workers"]:
+        worker_rows = []
+        for entry in snapshot["workers"]:
+            age = (
+                now - entry["last_heartbeat"]
+                if entry["last_heartbeat"] is not None
+                else None
+            )
+            if entry["claimed"]:
+                expired = (
+                    entry["lease_expires"] is not None
+                    and entry["lease_expires"] < now
+                )
+                status = "lease expired" if expired else "active"
+            else:
+                status = "idle"
+            worker_rows.append(
+                [
+                    entry["worker"],
+                    status,
+                    entry["active_cell"] or "—",
+                    entry["done"],
+                    entry["failed"],
+                    f"{age:.1f}s ago" if age is not None else "—",
+                ]
+            )
+        out.append("<h3>workers</h3>")
+        out.append(
+            _table(
+                ["worker", "status", "active cell", "done", "failed", "heartbeat"],
+                worker_rows,
+                numeric_from=3,
+            )
+        )
+    if snapshot["reclaims"]:
+        out.append("<h3>reclaimed leases</h3>")
+        out.append(
+            _table(
+                ["age", "cell", "lost by"],
+                [
+                    [
+                        f"{max(now - r['ts'], 0.0):.1f}s ago",
+                        f"{r['experiment']}/{r['cell_id']}",
+                        r["worker"] or "—",
+                    ]
+                    for r in snapshot["reclaims"]
+                ],
+                numeric_from=99,
+            )
+        )
+    return "".join(out)
+
+
 def _section_payments(report: RunReport, explain_limit: int) -> str:
     audit = report.audit
     winners = [uid for uid in audit.audited_users if uid in audit.rewards]
@@ -707,6 +795,7 @@ def render_dashboard(
             stamp,
             _section_manifest(report),
             _section_progress(records),
+            _section_queue(run_dir),
             _section_waterfall(records, waterfall_limit),
             _section_stages(report),
             _section_profile(records),

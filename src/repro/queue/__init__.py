@@ -1,0 +1,29 @@
+"""Distributed experiment queue: pluggable cell ledgers + worker protocol.
+
+The package behind ``repro enqueue`` / ``repro worker`` / ``repro run
+--backend``: :mod:`~repro.queue.base` defines the
+:class:`~repro.queue.base.QueueBackend` protocol,
+:mod:`~repro.queue.jsonl_backend` keeps the original single-host JSONL
+checkpoint bit-identical, :mod:`~repro.queue.sqlite_backend` adds the
+SQLite claim/heartbeat/lease queue, and :mod:`~repro.queue.worker`
+drives it.  The operator's guide is docs/DISTRIBUTED.md.
+"""
+
+from .base import STATES, ClaimedCell, QueueBackend, UnsupportedQueueOp
+from .jsonl_backend import JsonlBackend
+from .sqlite_backend import QUEUE_DB_NAME, SqliteBackend, queue_snapshot
+from .worker import QueueWorker, default_worker_id, enqueue_grids
+
+__all__ = [
+    "STATES",
+    "ClaimedCell",
+    "JsonlBackend",
+    "QUEUE_DB_NAME",
+    "QueueBackend",
+    "QueueWorker",
+    "SqliteBackend",
+    "UnsupportedQueueOp",
+    "default_worker_id",
+    "enqueue_grids",
+    "queue_snapshot",
+]

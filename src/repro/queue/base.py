@@ -1,0 +1,171 @@
+"""Pluggable experiment-queue backends: the protocol and shared types.
+
+PR 3's checkpoint made cell grids resumable on one host: a
+``checkpoint.jsonl`` ledger records every finished cell, and a resumed
+run skips them.  This package promotes that ledger to a *pluggable
+backend* so the same runner can persist cells through different stores:
+
+* :class:`repro.queue.jsonl_backend.JsonlBackend` — the original JSONL
+  file, unchanged bit for bit (single-host checkpoint/resume);
+* :class:`repro.queue.sqlite_backend.SqliteBackend` — a SQLite database
+  that additionally supports a *claim/heartbeat* protocol, so N
+  independent worker processes (one host or many, over a shared
+  filesystem) drain one queue with crash-safe lease reclamation.
+
+Every backend speaks the **ledger surface** the
+:class:`~repro.simulation.parallel.ExperimentRunner` already consumes:
+``append(record)`` persists a completed cell (the ``CheckpointLog``
+duck-type) and ``load_completed()`` returns the resume mapping
+(``load_checkpoint``'s shape).  Backends with ``supports_claims = True``
+add the **queue surface** (claim/heartbeat/done/failed) that
+:class:`repro.queue.worker.QueueWorker` drives.
+
+>>> ClaimedCell("fig5a", "n20-rep0", 0, attempts=1).key
+('fig5a', 'n20-rep0')
+>>> STATES
+('pending', 'claimed', 'done', 'failed')
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from ..simulation.checkpoint import CellRecord
+
+__all__ = [
+    "STATES",
+    "ClaimedCell",
+    "QueueBackend",
+    "UnsupportedQueueOp",
+]
+
+#: Lifecycle states of a queued cell, in the order they normally occur.
+#: ``claimed`` cells whose lease expires return to ``pending`` (reclaim).
+STATES = ("pending", "claimed", "done", "failed")
+
+
+class UnsupportedQueueOp(RuntimeError):
+    """A claim/heartbeat operation on a backend that is ledger-only."""
+
+
+@dataclass(frozen=True)
+class ClaimedCell:
+    """One cell leased to a worker by ``claim_next``.
+
+    Attributes:
+        experiment: Grid id the cell belongs to (a ``GRIDS`` key).
+        cell_id: The cell's stable id within the experiment.
+        index: Position in the grid's canonical cell order; workers
+            re-derive the actual :class:`~repro.simulation.experiments.
+            Cell` as ``grid.cells(params)[index]`` — grids are pure
+            functions of their parameters, so nothing else needs to
+            cross the database.
+        params: The experiment's resolved parameters, JSON-normalised
+            (:func:`~repro.simulation.checkpoint.normalize_values`);
+            used to verify the worker reconstructs the same grid.
+        attempts: How many times this cell has been claimed (1 on the
+            first claim; >1 means a lease was reclaimed and the cell is
+            being re-executed — cells are deterministic, so re-execution
+            is idempotent).
+        lease_expires: Absolute deadline (backend clock) by which the
+            worker must heartbeat or finish, else the cell is reclaimed.
+    """
+
+    experiment: str
+    cell_id: str
+    index: int
+    params: dict = field(default_factory=dict)
+    attempts: int = 1
+    lease_expires: float = 0.0
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """The ``(experiment, cell_id)`` identity (checkpoint key)."""
+        return (self.experiment, self.cell_id)
+
+
+class QueueBackend(abc.ABC):
+    """Abstract persistence backend for experiment cells.
+
+    The two mandatory methods are exactly the surface
+    :class:`~repro.simulation.parallel.ExperimentRunner` consumed before
+    this package existed — ``append`` matches
+    :class:`~repro.simulation.checkpoint.CheckpointLog` and
+    ``load_completed`` matches
+    :func:`~repro.simulation.checkpoint.load_checkpoint` — so any
+    backend can be passed as the runner's ``backend=``.
+
+    Subclasses that can coordinate *concurrent workers* set
+    :attr:`supports_claims` and implement the claim protocol (see
+    :class:`repro.queue.sqlite_backend.SqliteBackend`).  Ledger-only
+    backends inherit the default implementations, which raise
+    :class:`UnsupportedQueueOp`.
+    """
+
+    #: Whether this backend implements claim/heartbeat/mark_done.
+    supports_claims: bool = False
+
+    # -- ledger surface (all backends) ---------------------------------- #
+
+    @abc.abstractmethod
+    def append(self, record: CellRecord) -> None:
+        """Durably record one completed cell (flushed before returning)."""
+
+    @abc.abstractmethod
+    def load_completed(self) -> dict[tuple[str, str], CellRecord]:
+        """All completed cells, keyed by ``(experiment, cell_id)``."""
+
+    def close(self) -> None:
+        """Release any held resources (idempotent)."""
+
+    def __enter__(self) -> "QueueBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- queue surface (claim-capable backends only) -------------------- #
+
+    def claim_next(self, worker: str, lease_seconds: float) -> ClaimedCell | None:
+        """Atomically lease the next runnable cell to ``worker``.
+
+        Raises:
+            UnsupportedQueueOp: On ledger-only backends.
+        """
+        raise UnsupportedQueueOp(f"{type(self).__name__} does not support claims")
+
+    def heartbeat(self, claim: ClaimedCell, worker: str, lease_seconds: float) -> bool:
+        """Re-arm the lease on a held claim; ``False`` if it was lost.
+
+        Raises:
+            UnsupportedQueueOp: On ledger-only backends.
+        """
+        raise UnsupportedQueueOp(f"{type(self).__name__} does not support claims")
+
+    def mark_done(self, record: CellRecord, worker: str) -> bool:
+        """Finish a claimed cell with its result; ``False`` if the lease
+        was lost (another worker owns — or already finished — the cell).
+
+        Raises:
+            UnsupportedQueueOp: On ledger-only backends.
+        """
+        raise UnsupportedQueueOp(f"{type(self).__name__} does not support claims")
+
+    def mark_failed(
+        self, experiment: str, cell_id: str, worker: str, error: str
+    ) -> bool:
+        """Mark a claimed cell failed; ``False`` if the lease was lost.
+
+        Raises:
+            UnsupportedQueueOp: On ledger-only backends.
+        """
+        raise UnsupportedQueueOp(f"{type(self).__name__} does not support claims")
+
+    def counts(self) -> dict[str, int]:
+        """Cells per state — ``{state: count}`` over :data:`STATES`.
+
+        Raises:
+            UnsupportedQueueOp: On ledger-only backends.
+        """
+        raise UnsupportedQueueOp(f"{type(self).__name__} does not support claims")

@@ -1,0 +1,69 @@
+"""JSONL ledger backend: the original checkpoint, behind the protocol.
+
+Wraps :class:`~repro.simulation.checkpoint.CheckpointLog` and
+:func:`~repro.simulation.checkpoint.load_checkpoint` — the single-host
+checkpoint/resume path that predates this package — as a
+:class:`~repro.queue.base.QueueBackend`, so the runner and the CLI can
+switch between ``jsonl`` and ``sqlite`` through one interface.  The
+bytes on disk are exactly what ``CheckpointLog`` has always written
+(``tests/queue/test_backend_parity.py`` pins the equivalence); this
+backend adds no claim protocol — it is ``supports_claims = False``, a
+ledger only.
+
+>>> import tempfile, os
+>>> path = os.path.join(tempfile.mkdtemp(), "checkpoint.jsonl")
+>>> from repro.simulation.checkpoint import CellRecord
+>>> with JsonlBackend(path) as backend:
+...     backend.append(CellRecord("fig5a", "n20-rep0", 0, values={"x": 1.0}))
+>>> sorted(JsonlBackend(path).load_completed())
+[('fig5a', 'n20-rep0')]
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..simulation.checkpoint import (
+    CellRecord,
+    CheckpointLog,
+    load_checkpoint,
+)
+from .base import QueueBackend
+
+__all__ = ["JsonlBackend"]
+
+
+class JsonlBackend(QueueBackend):
+    """Append-only JSONL cell ledger (single-host checkpoint/resume).
+
+    Args:
+        path: The ``checkpoint.jsonl`` file.  Opened lazily in append
+            mode on the first :meth:`append`, so constructing a backend
+            purely to :meth:`load_completed` does not touch the file.
+    """
+
+    supports_claims = False
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._log: CheckpointLog | None = None
+
+    def append(self, record: CellRecord) -> None:
+        """Append one completed cell (flushed immediately, as always)."""
+        if self._log is None:
+            self._log = CheckpointLog(self.path)
+        self._log.append(record)
+
+    def load_completed(self) -> dict[tuple[str, str], CellRecord]:
+        """Load the ledger (missing file → empty; torn tail tolerated).
+
+        Raises:
+            ValueError: On a corrupt non-trailing line (see
+                :func:`~repro.simulation.checkpoint.load_checkpoint`).
+        """
+        return load_checkpoint(self.path)
+
+    def close(self) -> None:
+        if self._log is not None:
+            self._log.close()
+            self._log = None

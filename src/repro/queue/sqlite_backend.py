@@ -1,0 +1,598 @@
+"""SQLite experiment queue: WAL ledger + atomic claim/heartbeat leases.
+
+One database file (``queue.db`` inside a run directory) holds one
+``cells`` table keyed by ``(experiment, cell_id)`` — the same identity
+the JSONL checkpoint uses — where each row carries the canonicalised
+experiment parameters (seeds included), a lifecycle ``state``
+(``pending → claimed → done | failed``), and lease bookkeeping.  N
+independent worker processes, on one host or several sharing a
+filesystem, drain the table concurrently:
+
+* **claim** — ``claim_next`` takes the lowest-``(experiment, index)``
+  pending cell via ``UPDATE … RETURNING`` inside one ``BEGIN IMMEDIATE``
+  transaction, so two workers can never lease the same cell;
+* **heartbeat** — the holder periodically re-arms ``lease_expires``;
+  the update is conditioned on still holding the claim, so a worker
+  whose lease was reclaimed learns it from the ``False`` return;
+* **reclaim** — every ``claim_next`` first flips expired claims back to
+  ``pending`` (logged in the ``reclaims`` table), which is how the work
+  of a SIGKILLed worker reappears;
+* **exactly-once results** — ``mark_done`` is conditioned on holding
+  the claim, so of two racing executions of a reclaimed cell only one
+  records a result.  Cells are deterministic (seeds live in the grid),
+  hence re-execution is idempotent and the recorded result is
+  byte-identical either way.
+
+The database is opened in WAL mode: readers (the ``--watch`` dashboard)
+never block writers, and a torn final write cannot corrupt committed
+rows.  WAL requires a filesystem with working POSIX locks — local disks
+and most cluster filesystems qualify; NFS generally does not (see
+docs/DISTRIBUTED.md, "Troubleshooting").
+
+>>> backend = SqliteBackend(":memory:")
+>>> backend.insert_cells("fig5a", {"repeats": 1}, [(0, "n20-rep0"), (1, "n30-rep0")])
+2
+>>> claim = backend.claim_next("worker-a", lease_seconds=60.0)
+>>> (claim.cell_id, claim.attempts)
+('n20-rep0', 1)
+>>> backend.counts()
+{'pending': 1, 'claimed': 1, 'done': 0, 'failed': 0}
+>>> from repro.simulation.checkpoint import CellRecord
+>>> record = CellRecord("fig5a", "n20-rep0", 0, params={"repeats": 1},
+...                     values={"cost": 3.5})
+>>> backend.mark_done(record, worker="worker-a")
+True
+>>> sorted(backend.load_completed()) == [("fig5a", "n20-rep0")]
+True
+>>> backend.close()
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from pathlib import Path
+
+from ..simulation.checkpoint import CellRecord, decode_record, encode_record
+from .base import STATES, ClaimedCell, QueueBackend
+
+__all__ = [
+    "QUEUE_DB_NAME",
+    "SqliteBackend",
+    "queue_snapshot",
+]
+
+#: File name of the queue database within a run directory.
+QUEUE_DB_NAME = "queue.db"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS cells (
+    experiment    TEXT    NOT NULL,
+    cell_id       TEXT    NOT NULL,
+    cell_index    INTEGER NOT NULL,
+    params        TEXT    NOT NULL,
+    state         TEXT    NOT NULL DEFAULT 'pending'
+                  CHECK (state IN ('pending', 'claimed', 'done', 'failed')),
+    worker        TEXT,
+    attempts      INTEGER NOT NULL DEFAULT 0,
+    enqueued_at   REAL    NOT NULL,
+    claimed_at    REAL,
+    heartbeat_at  REAL,
+    lease_expires REAL,
+    finished_at   REAL,
+    seconds       REAL,
+    result        TEXT,
+    error         TEXT,
+    PRIMARY KEY (experiment, cell_id)
+);
+CREATE INDEX IF NOT EXISTS idx_cells_state
+    ON cells (state, experiment, cell_index);
+CREATE TABLE IF NOT EXISTS reclaims (
+    ts            REAL NOT NULL,
+    experiment    TEXT NOT NULL,
+    cell_id       TEXT NOT NULL,
+    worker        TEXT,
+    lease_expires REAL
+);
+"""
+
+
+class SqliteBackend(QueueBackend):
+    """The distributed queue backend (see the module docstring).
+
+    Safe for concurrent use from multiple processes (SQLite locking +
+    ``BEGIN IMMEDIATE`` transactions) and from multiple threads of one
+    process (an internal lock serialises the shared connection — the
+    heartbeat thread and the executing thread may interleave freely).
+
+    Args:
+        path: Database file (parent directories are created), or
+            ``":memory:"`` for an in-process queue (tests, doctests).
+        timeout: Seconds a statement waits on a locked database before
+            raising ``sqlite3.OperationalError`` (busy timeout).
+        clock: Time source for leases (injectable for tests); defaults
+            to :func:`time.time` so lease deadlines are comparable
+            across hosts sharing a filesystem.
+    """
+
+    supports_claims = True
+
+    def __init__(
+        self,
+        path: str | Path,
+        timeout: float = 30.0,
+        clock=time.time,
+    ):
+        self.path = Path(path) if path != ":memory:" else path
+        self._clock = clock
+        self._lock = threading.RLock()
+        if isinstance(self.path, Path):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(
+            str(path),
+            timeout=timeout,
+            check_same_thread=False,
+            isolation_level=None,  # autocommit; we issue BEGIN IMMEDIATE
+        )
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        # executescript manages its own transaction; autocommit mode here.
+        self._conn.executescript(_SCHEMA)
+
+    # -- plumbing ------------------------------------------------------- #
+
+    def _tx(self):
+        """One serialized ``BEGIN IMMEDIATE`` transaction."""
+        return _Transaction(self._conn, self._lock)
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    # -- metadata ------------------------------------------------------- #
+
+    def set_meta(self, key: str, value) -> None:
+        """Store a JSON-serialisable run configuration value."""
+        with self._tx() as cur:
+            cur.execute(
+                "INSERT INTO meta (key, value) VALUES (?, ?) "
+                "ON CONFLICT (key) DO UPDATE SET value = excluded.value",
+                (key, json.dumps(value, sort_keys=True)),
+            )
+
+    def get_meta(self, key: str, default=None):
+        """Read a configuration value written by :meth:`set_meta`."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = ?", (key,)
+            ).fetchone()
+        return default if row is None else json.loads(row[0])
+
+    # -- enqueue -------------------------------------------------------- #
+
+    def insert_cells(
+        self, experiment: str, params: dict, cells: list[tuple[int, str]]
+    ) -> int:
+        """Enqueue an experiment's cells as ``pending`` rows.
+
+        Idempotent: cells already present (any state) are left alone, so
+        re-running ``repro enqueue`` after a partial drain is safe.
+
+        Args:
+            experiment: Grid id (``GRIDS`` key).
+            params: The grid's resolved parameters, already normalised
+                via :func:`~repro.simulation.checkpoint.normalize_values`
+                (this is the canonical form — seeds included — that
+                workers and resumes validate against).
+            cells: ``(index, cell_id)`` pairs in canonical grid order.
+
+        Returns:
+            Number of newly inserted cells.
+
+        Raises:
+            ValueError: If the experiment already has rows enqueued
+                under *different* parameters — one queue database
+                describes one configuration, exactly like one JSONL
+                checkpoint does.
+        """
+        canonical = json.dumps(params, sort_keys=True)
+        now = self._clock()
+        with self._tx() as cur:
+            row = cur.execute(
+                "SELECT params FROM cells WHERE experiment = ? LIMIT 1",
+                (experiment,),
+            ).fetchone()
+            if row is not None and row[0] != canonical:
+                raise ValueError(
+                    f"{experiment}: queue already holds cells with different "
+                    f"parameters; enqueue into a fresh run directory instead"
+                )
+            inserted = 0
+            for index, cell_id in cells:
+                cur.execute(
+                    "INSERT INTO cells (experiment, cell_id, cell_index, params, "
+                    "enqueued_at) VALUES (?, ?, ?, ?, ?) "
+                    "ON CONFLICT (experiment, cell_id) DO NOTHING",
+                    (experiment, cell_id, int(index), canonical, now),
+                )
+                inserted += cur.rowcount
+        return inserted
+
+    # -- claim / heartbeat / finish ------------------------------------- #
+
+    def reclaim_expired(self) -> list[tuple[str, str]]:
+        """Return expired claims to ``pending`` (each reclaim is logged).
+
+        Called automatically by :meth:`claim_next`; exposed for tests
+        and operational tooling.
+
+        Returns:
+            ``(experiment, cell_id)`` of every reclaimed cell.
+        """
+        now = self._clock()
+        with self._tx() as cur:
+            return self._reclaim_expired(cur, now)
+
+    def _reclaim_expired(self, cur, now: float) -> list[tuple[str, str]]:
+        expired = cur.execute(
+            "SELECT experiment, cell_id, worker, lease_expires FROM cells "
+            "WHERE state = 'claimed' AND lease_expires < ?",
+            (now,),
+        ).fetchall()
+        for experiment, cell_id, worker, lease_expires in expired:
+            cur.execute(
+                "INSERT INTO reclaims (ts, experiment, cell_id, worker, "
+                "lease_expires) VALUES (?, ?, ?, ?, ?)",
+                (now, experiment, cell_id, worker, lease_expires),
+            )
+        cur.execute(
+            "UPDATE cells SET state = 'pending', worker = NULL, "
+            "lease_expires = NULL WHERE state = 'claimed' AND lease_expires < ?",
+            (now,),
+        )
+        return [(experiment, cell_id) for experiment, cell_id, _, _ in expired]
+
+    def claim_next(self, worker: str, lease_seconds: float) -> ClaimedCell | None:
+        """Atomically lease the next runnable cell (canonical order).
+
+        One transaction: expired claims are reclaimed first, then the
+        lowest-``(experiment, cell_index)`` pending cell flips to
+        ``claimed`` via ``UPDATE … RETURNING`` — the whole step is
+        serialized by SQLite's write lock, so concurrent workers get
+        disjoint cells.
+
+        Args:
+            worker: Claiming worker's id (e.g. ``"host-1234"``).
+            lease_seconds: Lease duration; the worker must heartbeat or
+                finish within it or the cell is reclaimed.
+
+        Returns:
+            The leased cell, or ``None`` when nothing is pending (work
+            may still be in flight under other workers' leases).
+        """
+        now = self._clock()
+        deadline = now + float(lease_seconds)
+        with self._tx() as cur:
+            self._reclaim_expired(cur, now)
+            row = cur.execute(
+                "UPDATE cells SET state = 'claimed', worker = ?, "
+                "attempts = attempts + 1, claimed_at = ?, heartbeat_at = ?, "
+                "lease_expires = ? "
+                "WHERE (experiment, cell_id) IN ("
+                "  SELECT experiment, cell_id FROM cells WHERE state = 'pending' "
+                "  ORDER BY experiment, cell_index LIMIT 1) "
+                "RETURNING experiment, cell_id, cell_index, params, attempts",
+                (worker, now, now, deadline),
+            ).fetchone()
+        if row is None:
+            return None
+        experiment, cell_id, index, params, attempts = row
+        return ClaimedCell(
+            experiment=experiment,
+            cell_id=cell_id,
+            index=int(index),
+            params=json.loads(params),
+            attempts=int(attempts),
+            lease_expires=deadline,
+        )
+
+    def heartbeat(self, claim: ClaimedCell, worker: str, lease_seconds: float) -> bool:
+        """Re-arm the lease on a held claim.
+
+        Returns:
+            ``True`` if the lease was extended; ``False`` if the claim
+            is no longer held (reclaimed, or finished by someone else) —
+            the worker should abandon the cell without recording it.
+        """
+        now = self._clock()
+        with self._tx() as cur:
+            cur.execute(
+                "UPDATE cells SET heartbeat_at = ?, lease_expires = ? "
+                "WHERE experiment = ? AND cell_id = ? AND worker = ? "
+                "AND state = 'claimed'",
+                (now, now + float(lease_seconds), claim.experiment, claim.cell_id, worker),
+            )
+            return cur.rowcount == 1
+
+    def mark_done(self, record: CellRecord, worker: str) -> bool:
+        """Record a claimed cell's result (state → ``done``).
+
+        Conditioned on still holding the claim: a worker whose lease was
+        reclaimed gets ``False`` and its (identical, deterministic)
+        result is discarded — the reclaiming worker's commit wins.
+        """
+        now = self._clock()
+        with self._tx() as cur:
+            cur.execute(
+                "UPDATE cells SET state = 'done', result = ?, seconds = ?, "
+                "finished_at = ?, lease_expires = NULL "
+                "WHERE experiment = ? AND cell_id = ? AND worker = ? "
+                "AND state = 'claimed'",
+                (
+                    encode_record(record),
+                    record.seconds,
+                    now,
+                    record.experiment,
+                    record.cell_id,
+                    worker,
+                ),
+            )
+            return cur.rowcount == 1
+
+    def mark_failed(
+        self, experiment: str, cell_id: str, worker: str, error: str
+    ) -> bool:
+        """Record a claimed cell's failure (state → ``failed``).
+
+        Failed cells stay out of the claimable pool; ``repro enqueue``
+        (idempotent) or a manual ``UPDATE`` can return them to
+        ``pending`` after the underlying problem is fixed.
+        """
+        now = self._clock()
+        with self._tx() as cur:
+            cur.execute(
+                "UPDATE cells SET state = 'failed', error = ?, finished_at = ?, "
+                "lease_expires = NULL "
+                "WHERE experiment = ? AND cell_id = ? AND worker = ? "
+                "AND state = 'claimed'",
+                (error, now, experiment, cell_id, worker),
+            )
+            return cur.rowcount == 1
+
+    # -- ledger surface -------------------------------------------------- #
+
+    def append(self, record: CellRecord) -> None:
+        """Record a completed cell outside the claim protocol.
+
+        This is the :class:`~repro.simulation.checkpoint.CheckpointLog`
+        duck-type the :class:`~repro.simulation.parallel.
+        ExperimentRunner` writes through when running with
+        ``backend="sqlite"`` but without workers: the row is upserted
+        straight to ``done`` (enqueued first if missing), one durable
+        transaction per cell — the same per-cell durability the JSONL
+        ledger provides.
+        """
+        now = self._clock()
+        canonical = json.dumps(record.params, sort_keys=True)
+        with self._tx() as cur:
+            cur.execute(
+                "INSERT INTO cells (experiment, cell_id, cell_index, params, "
+                "state, enqueued_at, finished_at, seconds, result) "
+                "VALUES (?, ?, ?, ?, 'done', ?, ?, ?, ?) "
+                "ON CONFLICT (experiment, cell_id) DO UPDATE SET "
+                "state = 'done', result = excluded.result, "
+                "seconds = excluded.seconds, finished_at = excluded.finished_at, "
+                "worker = NULL, lease_expires = NULL",
+                (
+                    record.experiment,
+                    record.cell_id,
+                    record.index,
+                    canonical,
+                    now,
+                    now,
+                    record.seconds,
+                    encode_record(record),
+                ),
+            )
+
+    def load_completed(self) -> dict[tuple[str, str], CellRecord]:
+        """Decode every ``done`` cell's stored :class:`CellRecord`."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT result FROM cells WHERE state = 'done' "
+                "ORDER BY experiment, cell_index"
+            ).fetchall()
+        completed: dict[tuple[str, str], CellRecord] = {}
+        for (result,) in rows:
+            record = decode_record(result)
+            completed[record.key] = record
+        return completed
+
+    # -- introspection --------------------------------------------------- #
+
+    def counts(self) -> dict[str, int]:
+        """Cells per state (all four states always present).
+
+        >>> b = SqliteBackend(":memory:")
+        >>> b.counts()
+        {'pending': 0, 'claimed': 0, 'done': 0, 'failed': 0}
+        >>> b.close()
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) FROM cells GROUP BY state"
+            ).fetchall()
+        counts = {state: 0 for state in STATES}
+        counts.update({state: int(n) for state, n in rows})
+        return counts
+
+    def workers(self) -> list[dict]:
+        """Per-worker liveness summary, most recent heartbeat first.
+
+        Each entry: ``worker``, ``done``/``failed``/``claimed`` counts,
+        ``last_heartbeat`` (epoch seconds), ``active_cell`` (the cell a
+        live claim holds, or ``None``), ``lease_expires``.
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT worker, "
+                "  SUM(state = 'done'), SUM(state = 'failed'), "
+                "  SUM(state = 'claimed'), MAX(heartbeat_at), "
+                "  MAX(CASE WHEN state = 'claimed' "
+                "      THEN experiment || '/' || cell_id END), "
+                "  MAX(CASE WHEN state = 'claimed' THEN lease_expires END) "
+                "FROM cells WHERE worker IS NOT NULL GROUP BY worker "
+                "ORDER BY MAX(heartbeat_at) DESC"
+            ).fetchall()
+        return [
+            {
+                "worker": worker,
+                "done": int(done or 0),
+                "failed": int(failed or 0),
+                "claimed": int(claimed or 0),
+                "last_heartbeat": heartbeat,
+                "active_cell": active,
+                "lease_expires": lease,
+            }
+            for worker, done, failed, claimed, heartbeat, active, lease in rows
+        ]
+
+    def reclaim_log(self, limit: int = 50) -> list[dict]:
+        """The most recent lease reclamations, newest first."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT ts, experiment, cell_id, worker, lease_expires "
+                "FROM reclaims ORDER BY ts DESC, rowid DESC LIMIT ?",
+                (int(limit),),
+            ).fetchall()
+        return [
+            {
+                "ts": ts,
+                "experiment": experiment,
+                "cell_id": cell_id,
+                "worker": worker,
+                "lease_expires": lease_expires,
+            }
+            for ts, experiment, cell_id, worker, lease_expires in rows
+        ]
+
+
+class _Transaction:
+    """``BEGIN IMMEDIATE`` scope: thread-locked, commit/rollback on exit."""
+
+    def __init__(self, conn: sqlite3.Connection, lock: threading.RLock):
+        self._conn = conn
+        self._lock = lock
+
+    def __enter__(self) -> sqlite3.Cursor:
+        self._lock.acquire()
+        try:
+            self._conn.execute("BEGIN IMMEDIATE")
+            return self._conn.cursor()
+        except BaseException:
+            self._lock.release()
+            raise
+
+    def __exit__(self, exc_type, *exc_info) -> None:
+        try:
+            if exc_type is None:
+                self._conn.execute("COMMIT")
+            else:
+                self._conn.execute("ROLLBACK")
+        finally:
+            self._lock.release()
+
+
+def queue_snapshot(path: str | Path) -> dict | None:
+    """Read-only queue summary for dashboards and status lines.
+
+    Opens the database in SQLite read-only mode (a rendering dashboard
+    must never create tables in — or upgrade — a live queue), so the
+    caller needs no lock coordination with workers.
+
+    Args:
+        path: The ``queue.db`` file.
+
+    Returns:
+        ``{"counts", "by_experiment", "workers", "reclaims", "meta"}``,
+        or ``None`` when the file does not exist.
+
+    Raises:
+        sqlite3.OperationalError: If the file exists but is not a
+            readable queue database.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    conn = sqlite3.connect(f"file:{path}?mode=ro", uri=True, timeout=5.0)
+    try:
+        counts = {state: 0 for state in STATES}
+        counts.update(
+            {
+                state: int(n)
+                for state, n in conn.execute(
+                    "SELECT state, COUNT(*) FROM cells GROUP BY state"
+                )
+            }
+        )
+        by_experiment: dict[str, dict[str, int]] = {}
+        for experiment, state, n in conn.execute(
+            "SELECT experiment, state, COUNT(*) FROM cells "
+            "GROUP BY experiment, state ORDER BY experiment"
+        ):
+            by_experiment.setdefault(
+                experiment, {state: 0 for state in STATES}
+            )[state] = int(n)
+        workers = [
+            {
+                "worker": worker,
+                "done": int(done or 0),
+                "failed": int(failed or 0),
+                "claimed": int(claimed or 0),
+                "last_heartbeat": heartbeat,
+                "active_cell": active,
+                "lease_expires": lease,
+            }
+            for worker, done, failed, claimed, heartbeat, active, lease in conn.execute(
+                "SELECT worker, "
+                "  SUM(state = 'done'), SUM(state = 'failed'), "
+                "  SUM(state = 'claimed'), MAX(heartbeat_at), "
+                "  MAX(CASE WHEN state = 'claimed' "
+                "      THEN experiment || '/' || cell_id END), "
+                "  MAX(CASE WHEN state = 'claimed' THEN lease_expires END) "
+                "FROM cells WHERE worker IS NOT NULL GROUP BY worker "
+                "ORDER BY MAX(heartbeat_at) DESC"
+            )
+        ]
+        reclaims = [
+            {
+                "ts": ts,
+                "experiment": experiment,
+                "cell_id": cell_id,
+                "worker": worker,
+                "lease_expires": lease_expires,
+            }
+            for ts, experiment, cell_id, worker, lease_expires in conn.execute(
+                "SELECT ts, experiment, cell_id, worker, lease_expires "
+                "FROM reclaims ORDER BY ts DESC, rowid DESC LIMIT 50"
+            )
+        ]
+        meta = {
+            key: json.loads(value)
+            for key, value in conn.execute("SELECT key, value FROM meta")
+        }
+    finally:
+        conn.close()
+    return {
+        "counts": counts,
+        "by_experiment": by_experiment,
+        "workers": workers,
+        "reclaims": reclaims,
+        "meta": meta,
+    }

@@ -1,0 +1,358 @@
+"""Queue workers: claim cells, heartbeat the lease, record results.
+
+A :class:`QueueWorker` is one draining process in the distributed
+scheme (``repro worker <run-dir>`` constructs exactly one):
+
+1. :meth:`~repro.queue.sqlite_backend.SqliteBackend.claim_next` leases
+   the next cell (reclaiming expired leases on the way);
+2. a background thread heartbeats the lease while the cell executes, so
+   a *slow* cell is never mistaken for a *dead* worker;
+3. the cell runs exactly like the in-process runner's
+   (same testbed construction, same
+   :func:`~repro.simulation.checkpoint.normalize_values` round-trip),
+   so a queue-drained grid aggregates byte-identically to a serial run;
+4. ``mark_done`` commits the result — conditioned on still holding the
+   lease, so of two racing executions after a reclaim only one records.
+
+Workers are self-configuring: ``repro enqueue`` stores the testbed
+arguments and per-experiment overrides in the queue's ``meta`` table
+(:func:`enqueue_grids`), and a worker needs nothing but the database
+path.  Lifecycle events (``worker.claim`` / ``worker.heartbeat`` /
+``worker.done`` / ``worker.failed``) go to ``event_sink`` — usually an
+:class:`repro.obs.events.EventLog` appending to the run directory's
+``events.jsonl``, which is what makes the ``--watch`` dashboard's queue
+panel live.
+
+>>> tuplify_overrides({"n_users_list": [10, 14], "repeats": 2})
+{'n_users_list': (10, 14), 'repeats': 2}
+>>> default_worker_id().count("-") >= 1
+True
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import traceback
+
+from ..obs.metrics import MetricsRegistry
+from ..simulation.checkpoint import CellRecord, normalize_values
+from ..simulation.experiments import GRIDS, default_testbed
+from ..simulation.parallel import _run_one_cell
+from .base import ClaimedCell, QueueBackend
+
+__all__ = [
+    "QueueWorker",
+    "default_worker_id",
+    "enqueue_grids",
+    "tuplify_overrides",
+]
+
+
+def default_worker_id() -> str:
+    """``<hostname>-<pid>``: unique across hosts sharing one queue."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def tuplify_overrides(overrides: dict) -> dict:
+    """Convert JSON-decoded list values back to the tuples grids expect.
+
+    Overrides cross the database as JSON (lists); grid defaults use
+    tuples.  Restoring tuples keeps a worker's resolved parameters
+    *type-identical* to the enqueuing process's, not just value-equal.
+
+    >>> tuplify_overrides({"a": [1, [2, 3]], "b": {"c": [4]}})
+    {'a': (1, (2, 3)), 'b': {'c': (4,)}}
+    """
+
+    def convert(value):
+        if isinstance(value, list):
+            return tuple(convert(item) for item in value)
+        if isinstance(value, dict):
+            return {key: convert(item) for key, item in value.items()}
+        return value
+
+    return {key: convert(value) for key, value in overrides.items()}
+
+
+def enqueue_grids(
+    backend,
+    experiments: list[str],
+    overrides: dict[str, dict] | None = None,
+    n_taxis: int = 250,
+    seed: int = 42,
+) -> dict[str, int]:
+    """Populate a claim-capable backend with experiment grids.
+
+    Resolves each grid, enqueues its cells as ``pending`` rows
+    (idempotently — cells already present are untouched), and stores the
+    worker-facing configuration (``n_taxis``, ``seed``, per-experiment
+    overrides) in the queue's ``meta`` table so ``repro worker`` needs
+    only the database path.
+
+    Args:
+        backend: A ``supports_claims`` backend (``SqliteBackend``).
+        experiments: Grid ids from :data:`~repro.simulation.experiments.
+            GRIDS`, in execution order.
+        overrides: Optional per-experiment parameter overrides.
+        n_taxis: Testbed fleet size workers must rebuild with.
+        seed: Testbed RNG seed.
+
+    Returns:
+        ``{experiment: newly_enqueued_cells}``.
+
+    Raises:
+        KeyError: On an unknown experiment id.
+        ValueError: On unknown override keys, or on enqueueing into a
+            queue whose existing rows used different parameters.
+    """
+    overrides = overrides or {}
+    inserted: dict[str, int] = {}
+    for name in experiments:
+        grid = GRIDS[name]
+        params = grid.resolve(overrides.get(name))
+        cells = grid.cells(params)
+        inserted[name] = backend.insert_cells(
+            name,
+            normalize_values(params),
+            [(cell.index, cell.cell_id) for cell in cells],
+        )
+    backend.set_meta("n_taxis", n_taxis)
+    backend.set_meta("seed", seed)
+    backend.set_meta("experiments", list(experiments))
+    backend.set_meta(
+        "overrides", {name: overrides.get(name) or {} for name in experiments}
+    )
+    return inserted
+
+
+class _LeaseKeeper:
+    """Background heartbeat for one claim; context-managed around the cell.
+
+    Wakes every ``interval`` seconds, re-arms the lease, and raises the
+    :attr:`lost` flag (stopping itself) if the backend reports the claim
+    gone — the executing worker checks it before committing.
+    """
+
+    def __init__(self, backend, claim, worker, lease_seconds, interval, sink=None):
+        self._backend = backend
+        self._claim = claim
+        self._worker = worker
+        self._lease_seconds = lease_seconds
+        self._interval = interval
+        self._sink = sink
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self.lost = False
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            ok = self._backend.heartbeat(self._claim, self._worker, self._lease_seconds)
+            if self._sink is not None:
+                self._sink(
+                    {
+                        "type": "event",
+                        "span_id": None,
+                        "name": "worker.heartbeat",
+                        "worker": self._worker,
+                        "experiment": self._claim.experiment,
+                        "cell": self._claim.cell_id,
+                        "ok": ok,
+                    }
+                )
+            if not ok:
+                self.lost = True
+                return
+
+    def __enter__(self) -> "_LeaseKeeper":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join()
+
+
+class QueueWorker:
+    """One queue-draining worker process (the engine behind ``repro worker``).
+
+    Args:
+        backend: A claim-capable :class:`~repro.queue.base.QueueBackend`.
+        n_taxis: Testbed fleet size; default: the queue's ``meta`` value
+            (written by ``repro enqueue``), falling back to 250.
+        seed: Testbed RNG seed; same meta fallback, then 42.
+        worker_id: Stable identity for claims and events (default
+            :func:`default_worker_id`).
+        lease_seconds: Claim lease duration.  Must comfortably exceed
+            one heartbeat interval; a worker that dies keeps cells
+            locked for at most this long.
+        poll_seconds: Sleep between claim attempts while other workers
+            still hold leases.
+        heartbeat_seconds: Lease re-arm period (default: a quarter of
+            the lease).
+        max_cells: Stop after executing this many cells (``None`` =
+            drain the queue).
+        event_sink: Callable receiving ``worker.*`` event records
+            (e.g. ``EventLog.append``); ``None`` disables events.
+
+    Raises:
+        UnsupportedQueueOp: If ``backend`` cannot claim (``JsonlBackend``).
+    """
+
+    def __init__(
+        self,
+        backend: QueueBackend,
+        n_taxis: int | None = None,
+        seed: int | None = None,
+        worker_id: str | None = None,
+        lease_seconds: float = 60.0,
+        poll_seconds: float = 0.5,
+        heartbeat_seconds: float | None = None,
+        max_cells: int | None = None,
+        event_sink=None,
+    ):
+        if not backend.supports_claims:
+            # Route through the base class for the canonical error text.
+            backend.claim_next("", 0.0)
+        self.backend = backend
+        meta = backend.get_meta if hasattr(backend, "get_meta") else lambda k, d=None: d
+        self.n_taxis = int(n_taxis if n_taxis is not None else meta("n_taxis", 250))
+        self.seed = int(seed if seed is not None else meta("seed", 42))
+        self.worker_id = worker_id or default_worker_id()
+        self.lease_seconds = float(lease_seconds)
+        self.poll_seconds = float(poll_seconds)
+        self.heartbeat_seconds = (
+            float(heartbeat_seconds)
+            if heartbeat_seconds is not None
+            else max(self.lease_seconds / 4.0, 0.05)
+        )
+        self.max_cells = max_cells
+        self.event_sink = event_sink
+        self._overrides = {
+            name: tuplify_overrides(value or {})
+            for name, value in (meta("overrides", {}) or {}).items()
+        }
+
+    # -- events --------------------------------------------------------- #
+
+    def _emit(self, name: str, **fields) -> None:
+        if self.event_sink is not None:
+            self.event_sink(
+                {
+                    "type": "event",
+                    "span_id": None,
+                    "name": name,
+                    "worker": self.worker_id,
+                    **fields,
+                }
+            )
+
+    # -- execution ------------------------------------------------------ #
+
+    def _execute(self, claim: ClaimedCell) -> CellRecord:
+        """Run one claimed cell exactly like the in-process runner would."""
+        grid = GRIDS[claim.experiment]
+        params = grid.resolve(self._overrides.get(claim.experiment))
+        norm_params = normalize_values(params)
+        if norm_params != claim.params:
+            raise ValueError(
+                f"{claim.experiment}/{claim.cell_id}: queue row was enqueued "
+                f"with different parameters ({claim.params!r} != "
+                f"{norm_params!r}); this worker's overrides are out of sync"
+            )
+        cells = grid.cells(params)
+        cell = cells[claim.index]
+        if cell.cell_id != claim.cell_id:
+            raise ValueError(
+                f"{claim.experiment}: cell index {claim.index} is "
+                f"{cell.cell_id!r}, queue says {claim.cell_id!r}"
+            )
+        testbed = default_testbed(
+            n_taxis=self.n_taxis, seed=self.seed, kind=grid.testbed_kind
+        )
+        registry = MetricsRegistry()
+        values, seconds = _run_one_cell(grid, testbed, cell, params, None, registry)
+        return CellRecord(
+            experiment=cell.experiment,
+            cell_id=cell.cell_id,
+            index=cell.index,
+            params=norm_params,
+            values=values,
+            seconds=round(seconds, 6),
+            pid=os.getpid(),
+            metrics=registry.to_dict(),
+        )
+
+    def run(self) -> dict:
+        """Drain the queue (or process :attr:`max_cells` cells).
+
+        Keeps claiming until the queue holds no ``pending`` and no
+        ``claimed`` cells — so a worker outlives its peers' leases and
+        picks up reclaimed work rather than exiting while cells are
+        still in flight elsewhere.
+
+        Returns:
+            Stats: ``claimed`` / ``done`` / ``failed`` / ``lost_leases``
+            counts and total ``seconds``.
+        """
+        stats = {"claimed": 0, "done": 0, "failed": 0, "lost_leases": 0}
+        started = time.perf_counter()
+        while self.max_cells is None or stats["claimed"] < self.max_cells:
+            claim = self.backend.claim_next(self.worker_id, self.lease_seconds)
+            if claim is None:
+                counts = self.backend.counts()
+                if counts["pending"] == 0 and counts["claimed"] == 0:
+                    break  # fully drained (done/failed only)
+                time.sleep(self.poll_seconds)
+                continue
+            stats["claimed"] += 1
+            self._emit(
+                "worker.claim",
+                experiment=claim.experiment,
+                cell=claim.cell_id,
+                attempts=claim.attempts,
+            )
+            keeper = _LeaseKeeper(
+                self.backend,
+                claim,
+                self.worker_id,
+                self.lease_seconds,
+                self.heartbeat_seconds,
+                sink=self.event_sink,
+            )
+            try:
+                with keeper:
+                    record = self._execute(claim)
+            except Exception as error:
+                stats["failed"] += 1
+                self.backend.mark_failed(
+                    claim.experiment,
+                    claim.cell_id,
+                    self.worker_id,
+                    f"{type(error).__name__}: {error}\n{traceback.format_exc()}",
+                )
+                self._emit(
+                    "worker.failed",
+                    experiment=claim.experiment,
+                    cell=claim.cell_id,
+                    error=f"{type(error).__name__}: {error}",
+                )
+                continue
+            committed = not keeper.lost and self.backend.mark_done(
+                record, worker=self.worker_id
+            )
+            if committed:
+                stats["done"] += 1
+            else:
+                stats["lost_leases"] += 1  # reclaimed mid-cell; result discarded
+            self._emit(
+                "worker.done",
+                experiment=claim.experiment,
+                cell=claim.cell_id,
+                seconds=record.seconds,
+                committed=committed,
+            )
+        stats["seconds"] = round(time.perf_counter() - started, 6)
+        return stats

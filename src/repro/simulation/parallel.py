@@ -231,6 +231,12 @@ class ExperimentRunner:
         completed: Optional mapping from :func:`~repro.simulation.
             checkpoint.load_checkpoint`; cells found in it are not
             re-executed.
+        backend: Optional :class:`~repro.queue.base.QueueBackend`
+            standing in for both ``checkpoint`` and ``completed``:
+            executed cells are appended to it, and its
+            ``load_completed()`` seeds the skip set.  Mutually exclusive
+            with ``checkpoint``; an explicit ``completed`` mapping still
+            wins over the backend's.
     """
 
     def __init__(
@@ -243,7 +249,14 @@ class ExperimentRunner:
         metrics: MetricsRegistry | None = None,
         checkpoint=None,
         completed: dict[tuple[str, str], CellRecord] | None = None,
+        backend=None,
     ):
+        if backend is not None and checkpoint is not None:
+            raise ValueError("pass either backend= or checkpoint=, not both")
+        if backend is not None:
+            checkpoint = backend
+            if completed is None:
+                completed = backend.load_completed()
         self.workers = max(1, int(workers))
         self.n_taxis = n_taxis
         self.seed = seed

@@ -1,0 +1,66 @@
+"""Smoke-mode run of the queue-coordination benchmark (tier-1; full sizes
+``-m perf``).
+
+Drives the exact functions behind ``BENCH_queue.json`` at tiny sizes so
+every tier-1 run proves the harness: the exactly-once asserts fire
+*inside* the drain loops, the reclaim bench pays one lease reclamation
+per cell, and the record writer merges by benchmark key.  Rate
+magnitudes are not asserted here — the ≥200 cells/s bar lives in the
+``perf``-marked full-size test.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from benchmarks.bench_queue import (
+    drain_with_threads,
+    fill_queue,
+    run_claim_throughput,
+    run_reclaim_bench,
+    write_queue_records,
+)
+
+
+def test_claim_throughput_smoke():
+    record = run_claim_throughput(n_cells=24, worker_counts=(1, 3))
+    assert record["benchmark"] == "queue_claim_throughput"
+    assert [p["workers"] for p in record["sweep"]] == [1, 3]
+    for point in record["sweep"]:  # exactly-once asserted inside
+        assert point["n_cells"] == 24
+        assert point["seconds"] > 0.0
+        assert point["cells_per_second"] > 0.0
+
+
+def test_reclaim_smoke():
+    record = run_reclaim_bench(n_cells=12)
+    assert record["benchmark"] == "queue_reclaim"
+    assert record["reclaims"] == 12  # one reclaim per cell, asserted inside
+    assert record["cells_per_second"] > 0.0
+
+
+def test_drain_splits_work_across_threads(tmp_path):
+    db_path = tmp_path / "queue.db"
+    fill_queue(db_path, 16)
+    dones = drain_with_threads(db_path, n_workers=2)
+    assert sum(dones.values()) == 16
+    assert set(dones) == {"w0", "w1"}
+
+
+def test_write_queue_records_merges_by_benchmark(tmp_path):
+    path = tmp_path / "queue.json"
+    write_queue_records(
+        [{"benchmark": "queue_claim_throughput", "sweep": [{"workers": 1}]}],
+        path=path,
+    )
+    write_queue_records(
+        [
+            {"benchmark": "queue_claim_throughput", "sweep": [{"workers": 2}]},
+            {"benchmark": "queue_reclaim", "n_cells": 5},
+        ],
+        path=path,
+    )
+    records = json.loads(Path(path).read_text())["records"]
+    assert records["queue_claim_throughput"]["sweep"] == [{"workers": 2}]
+    assert records["queue_reclaim"]["n_cells"] == 5

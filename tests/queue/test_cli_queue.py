@@ -1,0 +1,202 @@
+"""CLI pipeline: enqueue → concurrent worker processes → resume collection.
+
+These are the end-to-end guarantees docs/DISTRIBUTED.md promises:
+
+* two independent ``repro worker`` **processes** drain one SQLite queue
+  with zero double-executed cells;
+* ``repro run --resume <dir> --backend sqlite`` aggregates the drain
+  into CSVs byte-identical to a serial ``repro run``;
+* a worker SIGKILLed mid-cell is recovered via lease reclamation and the
+  final results are unaffected;
+* resume refuses a ``--backend`` that does not match the directory.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.queue import QueueWorker, SqliteBackend, queue_snapshot
+from repro.simulation.experiments import default_testbed
+from repro.simulation.parallel import ExperimentRunner
+
+N_TAXIS = 60
+SEED = 42
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: 4 user counts x 5 repeats = 20 cells, the acceptance-floor grid size.
+TWENTY_CELLS = ["--set", "n_users_list=[10,12,14,16]", "--set", "repeats=5"]
+TWENTY_OVERRIDES = {"n_users_list": (10, 12, 14, 16), "repeats": 5}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def warm_testbed():
+    default_testbed(n_taxis=N_TAXIS, seed=SEED, kind="dense")
+
+
+def worker_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def spawn_worker(queue_dir, *extra):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", str(queue_dir), *extra],
+        env=worker_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def enqueue(tmp_path, *extra):
+    queue_dir = tmp_path / "queue"
+    rc = main(
+        [
+            "enqueue", "fig5a",
+            "--n-taxis", str(N_TAXIS), "--seed", str(SEED),
+            "--out-dir", str(queue_dir),
+            *extra,
+        ]
+    )
+    assert rc == 0
+    return queue_dir
+
+
+def collect(queue_dir):
+    rc = main(
+        [
+            "run", "fig5a",
+            "--n-taxis", str(N_TAXIS), "--seed", str(SEED),
+            "--resume", str(queue_dir), "--backend", "sqlite",
+        ]
+    )
+    assert rc == 0
+    return (queue_dir / "fig5a.csv").read_bytes()
+
+
+class TestTwoWorkerDrain:
+    def test_twenty_cells_two_processes_byte_identical_to_serial(
+        self, tmp_path, capsys
+    ):
+        queue_dir = enqueue(tmp_path, *TWENTY_CELLS)
+        snapshot = queue_snapshot(queue_dir / "queue.db")
+        assert snapshot["counts"]["pending"] == 20
+
+        workers = [
+            spawn_worker(queue_dir, "--worker-id", f"proc-{i}", "--lease", "30")
+            for i in (1, 2)
+        ]
+        outputs = [w.communicate(timeout=300)[0] for w in workers]
+        assert all(w.returncode == 0 for w in workers), outputs
+
+        snapshot = queue_snapshot(queue_dir / "queue.db")
+        assert snapshot["counts"] == {
+            "pending": 0, "claimed": 0, "done": 20, "failed": 0,
+        }
+        # Zero double-executed cells: 20 dones split across both workers.
+        done_by_worker = {w["worker"]: w["done"] for w in snapshot["workers"]}
+        assert sum(done_by_worker.values()) == 20
+        assert set(done_by_worker) == {"proc-1", "proc-2"}
+        assert snapshot["reclaims"] == []
+
+        queue_csv = collect(queue_dir)
+        with ExperimentRunner(workers=1, n_taxis=N_TAXIS, seed=SEED) as runner:
+            result, _ = runner.run("fig5a", TWENTY_OVERRIDES)
+        serial_csv_path = tmp_path / "serial.csv"
+        result.save_csv(serial_csv_path)
+        assert queue_csv == serial_csv_path.read_bytes()
+
+    def test_workers_emit_events_into_the_shared_stream(self, tmp_path):
+        queue_dir = enqueue(tmp_path, "--quick")
+        worker = spawn_worker(queue_dir, "--worker-id", "solo")
+        out, _ = worker.communicate(timeout=300)
+        assert worker.returncode == 0, out
+        events = (queue_dir / "events.jsonl").read_text()
+        assert '"name":"queue.enqueued"' in events
+        assert '"name":"worker.claim"' in events
+        assert '"name":"worker.done"' in events
+
+
+class TestKillMidCell:
+    def test_sigkilled_worker_is_reclaimed_and_results_match_serial(
+        self, tmp_path, capsys
+    ):
+        queue_dir = enqueue(tmp_path, *TWENTY_CELLS)
+        victim = spawn_worker(queue_dir, "--worker-id", "victim", "--lease", "2")
+        # Wait until the victim actually holds a claim, then kill -9 it.
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            snapshot = queue_snapshot(queue_dir / "queue.db")
+            if snapshot["counts"]["claimed"] >= 1:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("victim never claimed a cell")
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.wait(timeout=30)
+
+        with SqliteBackend(queue_dir / "queue.db") as backend:
+            stats = QueueWorker(
+                backend,
+                worker_id="rescuer",
+                lease_seconds=30,
+                poll_seconds=0.05,
+            ).run()
+            assert stats["failed"] == 0
+            assert backend.counts() == {
+                "pending": 0, "claimed": 0, "done": 20, "failed": 0,
+            }
+            reclaims = backend.reclaim_log()
+        assert [r["worker"] for r in reclaims] == ["victim"]
+
+        queue_csv = collect(queue_dir)
+        with ExperimentRunner(workers=1, n_taxis=N_TAXIS, seed=SEED) as runner:
+            result, _ = runner.run("fig5a", TWENTY_OVERRIDES)
+        serial_csv_path = tmp_path / "serial.csv"
+        result.save_csv(serial_csv_path)
+        assert queue_csv == serial_csv_path.read_bytes()
+
+
+class TestResumeValidation:
+    def test_resume_refuses_backend_mismatch(self, tmp_path, capsys):
+        queue_dir = enqueue(tmp_path, "--quick")
+        rc = main(
+            [
+                "run", "fig5a",
+                "--n-taxis", str(N_TAXIS), "--seed", str(SEED),
+                "--resume", str(queue_dir),  # default --backend jsonl
+            ]
+        )
+        assert rc == 2
+        assert "backend" in capsys.readouterr().err
+
+    def test_worker_refuses_a_directory_without_a_queue(self, tmp_path, capsys):
+        rc = main(["worker", str(tmp_path)])
+        assert rc == 2
+        assert "queue.db" in capsys.readouterr().err
+
+    def test_run_backend_sqlite_round_trips_without_workers(
+        self, tmp_path, capsys
+    ):
+        """`run --backend sqlite` alone: ledger lands in queue.db and a
+        resume skips every cell."""
+        out_dir = tmp_path / "run"
+        args = [
+            "run", "fig5a", "--quick",
+            "--n-taxis", str(N_TAXIS), "--seed", str(SEED),
+            "--backend", "sqlite",
+        ]
+        assert main([*args, "--out-dir", str(out_dir)]) == 0
+        assert (out_dir / "queue.db").exists()
+        assert not (out_dir / "checkpoint.jsonl").exists()
+        first_csv = (out_dir / "fig5a.csv").read_bytes()
+        assert main([*args, "--resume", str(out_dir)]) == 0
+        assert "already checkpointed" in capsys.readouterr().out
+        assert (out_dir / "fig5a.csv").read_bytes() == first_csv

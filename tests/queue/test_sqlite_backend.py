@@ -1,0 +1,236 @@
+"""SQLite queue backend: claims, leases, reclamation, ledger round-trip.
+
+Everything timing-dependent runs against an injected fake clock, so
+lease expiry and reclamation are exercised deterministically — no sleeps.
+The contention test is the exception: it genuinely races threads at the
+database and asserts the claim protocol's exactly-once guarantee.
+"""
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.queue import STATES, SqliteBackend, UnsupportedQueueOp, queue_snapshot
+from repro.queue.jsonl_backend import JsonlBackend
+from repro.simulation.checkpoint import CellRecord
+
+
+class FakeClock:
+    """Mutable time source injected as the backend's ``clock``."""
+
+    def __init__(self, now: float = 1000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_backend(clock=None):
+    return SqliteBackend(":memory:", clock=clock or FakeClock())
+
+
+def enqueue_two(backend, experiment="fig5a", params=None):
+    params = params if params is not None else {"repeats": 1}
+    backend.insert_cells(experiment, params, [(0, "c0"), (1, "c1")])
+    return params
+
+
+def record_for(experiment, cell_id, index, params):
+    return CellRecord(
+        experiment=experiment,
+        cell_id=cell_id,
+        index=index,
+        params=params,
+        values={"x": float(index)},
+        seconds=0.01,
+        pid=123,
+    )
+
+
+class TestEnqueue:
+    def test_insert_is_idempotent(self):
+        backend = make_backend()
+        params = enqueue_two(backend)
+        assert backend.insert_cells("fig5a", params, [(0, "c0"), (1, "c1")]) == 0
+        assert backend.counts()["pending"] == 2
+
+    def test_insert_rejects_changed_params(self):
+        backend = make_backend()
+        enqueue_two(backend)
+        with pytest.raises(ValueError, match="different parameters"):
+            backend.insert_cells("fig5a", {"repeats": 9}, [(2, "c2")])
+
+    def test_meta_round_trips_json(self):
+        backend = make_backend()
+        backend.set_meta("overrides", {"fig5a": {"n_users_list": [10, 14]}})
+        assert backend.get_meta("overrides") == {"fig5a": {"n_users_list": [10, 14]}}
+        assert backend.get_meta("missing", "fallback") == "fallback"
+
+
+class TestClaims:
+    def test_claims_follow_grid_order(self):
+        backend = make_backend()
+        enqueue_two(backend)
+        first = backend.claim_next("w1", lease_seconds=10)
+        second = backend.claim_next("w1", lease_seconds=10)
+        assert (first.cell_id, second.cell_id) == ("c0", "c1")
+        assert first.attempts == 1
+        assert backend.claim_next("w1", lease_seconds=10) is None
+
+    def test_two_workers_never_share_a_cell(self):
+        backend = make_backend()
+        enqueue_two(backend)
+        a = backend.claim_next("w1", lease_seconds=10)
+        b = backend.claim_next("w2", lease_seconds=10)
+        assert {a.cell_id, b.cell_id} == {"c0", "c1"}
+        assert backend.claim_next("w3", lease_seconds=10) is None
+
+    def test_mark_done_requires_holding_the_claim(self):
+        backend = make_backend()
+        params = enqueue_two(backend)
+        claim = backend.claim_next("w1", lease_seconds=10)
+        record = record_for("fig5a", claim.cell_id, claim.index, params)
+        assert backend.mark_done(record, worker="intruder") is False
+        assert backend.mark_done(record, worker="w1") is True
+        assert backend.mark_done(record, worker="w1") is False  # already done
+        assert backend.counts()["done"] == 1
+
+    def test_mark_failed_records_the_error(self):
+        backend = make_backend()
+        enqueue_two(backend)
+        claim = backend.claim_next("w1", lease_seconds=10)
+        assert backend.mark_failed("fig5a", claim.cell_id, "w1", "boom") is True
+        counts = backend.counts()
+        assert counts["failed"] == 1 and counts["pending"] == 1
+
+
+class TestLeases:
+    def test_expired_lease_is_reclaimed_and_logged(self):
+        clock = FakeClock()
+        backend = make_backend(clock)
+        enqueue_two(backend)
+        lost = backend.claim_next("w1", lease_seconds=10)
+        clock.now += 11  # w1 dies silently; its lease runs out
+        reclaimed = backend.claim_next("w2", lease_seconds=10)
+        assert reclaimed.cell_id == lost.cell_id
+        assert reclaimed.attempts == 2
+        log = backend.reclaim_log()
+        assert [(r["cell_id"], r["worker"]) for r in log] == [("c0", "w1")]
+
+    def test_heartbeat_keeps_the_lease_alive(self):
+        clock = FakeClock()
+        backend = make_backend(clock)
+        enqueue_two(backend)
+        claim = backend.claim_next("w1", lease_seconds=10)
+        clock.now += 8
+        assert backend.heartbeat(claim, "w1", lease_seconds=10) is True
+        clock.now += 8  # past the original deadline, inside the re-armed one
+        assert backend.claim_next("w2", lease_seconds=10).cell_id == "c1"
+        assert backend.claim_next("w2", lease_seconds=10) is None
+        assert backend.reclaim_log() == []
+
+    def test_lost_lease_blocks_heartbeat_and_commit(self):
+        clock = FakeClock()
+        backend = make_backend(clock)
+        params = enqueue_two(backend)
+        claim = backend.claim_next("w1", lease_seconds=10)
+        clock.now += 11
+        stolen = backend.claim_next("w2", lease_seconds=10)
+        assert stolen.cell_id == claim.cell_id
+        assert backend.heartbeat(claim, "w1", lease_seconds=10) is False
+        record = record_for("fig5a", claim.cell_id, claim.index, params)
+        assert backend.mark_done(record, worker="w1") is False
+        # Exactly-once: only the current holder's commit lands.
+        assert backend.mark_done(record, worker="w2") is True
+        assert backend.counts()["done"] == 1
+
+
+class TestLedgerSurface:
+    def test_append_and_load_round_trip(self):
+        backend = make_backend()
+        record = record_for("fig5a", "c0", 0, {"repeats": 1})
+        backend.append(record)
+        backend.append(record)  # idempotent upsert
+        completed = backend.load_completed()
+        assert completed == {("fig5a", "c0"): record}
+        assert backend.counts() == {
+            "pending": 0, "claimed": 0, "done": 1, "failed": 0,
+        }
+
+    def test_jsonl_backend_refuses_claims(self, tmp_path):
+        backend = JsonlBackend(tmp_path / "checkpoint.jsonl")
+        assert backend.supports_claims is False
+        with pytest.raises(UnsupportedQueueOp):
+            backend.claim_next("w1", 10)
+        with pytest.raises(UnsupportedQueueOp):
+            backend.counts()
+
+
+class TestContention:
+    def test_concurrent_claims_are_exactly_once(self, tmp_path):
+        """8 threads hammering one database file never double-claim."""
+        db = tmp_path / "queue.db"
+        seed_backend = SqliteBackend(db)
+        cells = [(i, f"c{i}") for i in range(40)]
+        seed_backend.insert_cells("fig5a", {"repeats": 1}, cells)
+        seed_backend.close()
+
+        claimed: list[str] = []
+        claimed_lock = threading.Lock()
+
+        def drain():
+            with SqliteBackend(db) as backend:
+                while True:
+                    claim = backend.claim_next("w-any", lease_seconds=60)
+                    if claim is None:
+                        return
+                    with claimed_lock:
+                        claimed.append(claim.cell_id)
+
+        threads = [threading.Thread(target=drain) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(claimed) == sorted(cell_id for _, cell_id in cells)
+        assert len(claimed) == len(set(claimed)) == 40
+
+
+class TestSnapshot:
+    def test_snapshot_missing_file_is_none(self, tmp_path):
+        assert queue_snapshot(tmp_path / "queue.db") is None
+
+    def test_snapshot_reports_counts_workers_and_meta(self, tmp_path):
+        db = tmp_path / "queue.db"
+        backend = SqliteBackend(db)
+        params = enqueue_two(backend)
+        backend.set_meta("n_taxis", 60)
+        claim = backend.claim_next("w1", lease_seconds=10)
+        backend.mark_done(
+            record_for("fig5a", claim.cell_id, claim.index, params), worker="w1"
+        )
+        snapshot = queue_snapshot(db)
+        assert snapshot["counts"] == {
+            "pending": 1, "claimed": 0, "done": 1, "failed": 0,
+        }
+        assert snapshot["by_experiment"]["fig5a"]["pending"] == 1
+        assert snapshot["workers"][0]["worker"] == "w1"
+        assert snapshot["workers"][0]["done"] == 1
+        assert snapshot["meta"]["n_taxis"] == 60
+        backend.close()
+
+    def test_snapshot_never_creates_tables(self, tmp_path):
+        """A read-only snapshot of a non-queue file raises, not upgrades."""
+        bogus = tmp_path / "queue.db"
+        conn = sqlite3.connect(bogus)
+        conn.execute("CREATE TABLE unrelated (x)")
+        conn.commit()
+        conn.close()
+        with pytest.raises(sqlite3.OperationalError):
+            queue_snapshot(bogus)
+
+    def test_states_constant_matches_schema(self):
+        backend = make_backend()
+        enqueue_two(backend)
+        assert tuple(backend.counts()) == STATES

@@ -1,0 +1,183 @@
+"""QueueWorker: drain equivalence, concurrency, and crash recovery.
+
+The headline guarantee: any number of workers draining one queue produce
+results **byte-identical** to a serial ``ExperimentRunner`` — including
+when a worker dies mid-cell and its lease is reclaimed.  Cells are pure
+functions of their parameters (seeds pinned in the grid), so re-execution
+after a reclaim is idempotent and the guarantee survives crashes.
+"""
+
+import threading
+
+import pytest
+
+from repro.queue import QueueWorker, SqliteBackend, UnsupportedQueueOp, enqueue_grids
+from repro.queue.jsonl_backend import JsonlBackend
+from repro.simulation.experiments import GRIDS, default_testbed
+from repro.simulation.parallel import ExperimentRunner
+
+N_TAXIS = 60
+SEED = 42
+FIG5A = {"n_users_list": (10, 14), "repeats": 2}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def warm_testbed():
+    default_testbed(n_taxis=N_TAXIS, seed=SEED, kind="dense")
+
+
+def serial_csv(name="fig5a", overrides=FIG5A):
+    with ExperimentRunner(workers=1, n_taxis=N_TAXIS, seed=SEED) as runner:
+        result, _ = runner.run(name, overrides)
+    return result.to_csv()
+
+
+def drained_csv(backend, name="fig5a", overrides=FIG5A):
+    """Aggregate a drained queue exactly like ``run --resume`` does."""
+    grid = GRIDS[name]
+    params = grid.resolve(overrides)
+    completed = backend.load_completed()
+    ordered = [completed[(name, cell.cell_id)].values for cell in grid.cells(params)]
+    return grid.aggregate(params, ordered).to_csv()
+
+
+class TestSingleWorker:
+    def test_drain_matches_serial_runner(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "queue.db")
+        enqueue_grids(backend, ["fig5a"], {"fig5a": FIG5A}, n_taxis=N_TAXIS, seed=SEED)
+        events = []
+        stats = QueueWorker(
+            backend, worker_id="w1", lease_seconds=30, event_sink=events.append
+        ).run()
+        assert stats["done"] == 4 and stats["failed"] == 0
+        assert backend.counts()["done"] == 4
+        assert drained_csv(backend) == serial_csv()
+        names = [e["name"] for e in events]
+        assert names.count("worker.claim") == 4
+        assert names.count("worker.done") == 4
+        backend.close()
+
+    def test_worker_reads_config_from_meta(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "queue.db")
+        enqueue_grids(backend, ["fig5a"], {"fig5a": FIG5A}, n_taxis=N_TAXIS, seed=SEED)
+        worker = QueueWorker(backend)
+        assert worker.n_taxis == N_TAXIS
+        assert worker.seed == SEED
+        assert worker._overrides["fig5a"] == FIG5A  # lists re-tuplified
+        backend.close()
+
+    def test_max_cells_stops_early(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "queue.db")
+        enqueue_grids(backend, ["fig5a"], {"fig5a": FIG5A}, n_taxis=N_TAXIS, seed=SEED)
+        stats = QueueWorker(backend, max_cells=1, lease_seconds=30).run()
+        assert stats["claimed"] == 1
+        counts = backend.counts()
+        assert counts["done"] == 1 and counts["pending"] == 3
+        backend.close()
+
+    def test_failing_cell_is_marked_failed(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "queue.db")
+        # A row naming a grid that does not exist: _execute raises KeyError.
+        backend.insert_cells("no-such-grid", {"p": 1}, [(0, "c0")])
+        stats = QueueWorker(
+            backend, n_taxis=N_TAXIS, seed=SEED, lease_seconds=30
+        ).run()
+        assert stats["failed"] == 1 and stats["done"] == 0
+        assert backend.counts()["failed"] == 1
+        backend.close()
+
+    def test_requires_a_claim_capable_backend(self, tmp_path):
+        with pytest.raises(UnsupportedQueueOp):
+            QueueWorker(JsonlBackend(tmp_path / "checkpoint.jsonl"))
+
+
+class TestConcurrentWorkers:
+    def test_two_workers_split_the_queue_byte_identically(self, tmp_path):
+        db = tmp_path / "queue.db"
+        seed_backend = SqliteBackend(db)
+        enqueue_grids(
+            seed_backend, ["fig5a"], {"fig5a": FIG5A}, n_taxis=N_TAXIS, seed=SEED
+        )
+        seed_backend.close()
+
+        stats_by_worker = {}
+
+        def drain(worker_id):
+            with SqliteBackend(db) as backend:
+                stats_by_worker[worker_id] = QueueWorker(
+                    backend, worker_id=worker_id, lease_seconds=30, poll_seconds=0.05
+                ).run()
+
+        threads = [
+            threading.Thread(target=drain, args=(wid,)) for wid in ("w1", "w2")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        total_done = sum(s["done"] for s in stats_by_worker.values())
+        assert total_done == 4  # every cell exactly once across both workers
+        with SqliteBackend(db) as backend:
+            assert backend.counts() == {
+                "pending": 0, "claimed": 0, "done": 4, "failed": 0,
+            }
+            # attempts == 1 everywhere: nothing was double-claimed.
+            completed = backend.load_completed()
+            assert len(completed) == 4
+            assert drained_csv(backend) == serial_csv()
+
+
+class TestCrashRecovery:
+    def test_abandoned_claim_is_reclaimed_and_finished(self, tmp_path):
+        """A worker that claims and dies loses its lease; a second worker
+        re-executes the cell and the merged result still matches serial."""
+        clock_now = [1000.0]
+        backend = SqliteBackend(tmp_path / "queue.db", clock=lambda: clock_now[0])
+        enqueue_grids(backend, ["fig5a"], {"fig5a": FIG5A}, n_taxis=N_TAXIS, seed=SEED)
+
+        # The "crashed" worker: claims cell 0, then never heartbeats again.
+        victim_claim = backend.claim_next("victim", lease_seconds=5)
+        assert victim_claim is not None
+
+        clock_now[0] += 6  # lease runs out
+        stats = QueueWorker(
+            backend, worker_id="rescuer", lease_seconds=30, poll_seconds=0.05
+        ).run()
+        assert stats["done"] == 4  # includes the reclaimed cell
+        log = backend.reclaim_log()
+        assert [(r["cell_id"], r["worker"]) for r in log] == [
+            (victim_claim.cell_id, "victim")
+        ]
+        reclaimed = backend.load_completed()[victim_claim.key]
+        assert reclaimed.cell_id == victim_claim.cell_id
+        assert drained_csv(backend) == serial_csv()
+        backend.close()
+
+    def test_worker_that_loses_its_lease_discards_the_result(self, tmp_path):
+        """If a claim is stolen mid-cell (zombie worker), its late commit
+        is rejected and counted as a lost lease, not a double write."""
+        clock_now = [1000.0]
+        backend = SqliteBackend(tmp_path / "queue.db", clock=lambda: clock_now[0])
+        enqueue_grids(backend, ["fig5a"], {"fig5a": FIG5A}, n_taxis=N_TAXIS, seed=SEED)
+
+        zombie = QueueWorker(
+            backend,
+            worker_id="zombie",
+            lease_seconds=5,
+            heartbeat_seconds=600,  # never heartbeats within the test
+            max_cells=1,
+        )
+        original_execute = zombie._execute
+
+        def stall_then_execute(claim):
+            clock_now[0] += 6  # the cell "takes longer" than the lease
+            backend.claim_next("thief", lease_seconds=600)  # reclaims it
+            return original_execute(claim)
+
+        zombie._execute = stall_then_execute
+        stats = zombie.run()
+        assert stats["lost_leases"] == 1 and stats["done"] == 0
+        # The cell belongs to the thief now; exactly one result can land.
+        assert backend.counts()["claimed"] >= 1
+        backend.close()

@@ -57,3 +57,55 @@ class TestCatchesRot:
         (tmp_path / "README.md").write_text("see [guide](docs/GUIDE.md) and `docs/GUIDE.md`\n")
         proc = run_checker(str(tmp_path))
         assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def make_cli_repo(tmp_path, readme):
+    """A minimal tree with a fake ``repro`` parser exposing ``--real-flag``."""
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "__main__.py").write_text(
+        "import argparse\n"
+        "def build_parser():\n"
+        "    parser = argparse.ArgumentParser()\n"
+        "    sub = parser.add_subparsers()\n"
+        "    run = sub.add_parser('run')\n"
+        "    run.add_argument('--real-flag')\n"
+        "    return parser\n"
+    )
+    (tmp_path / "README.md").write_text(readme)
+
+
+class TestCliFlagCrossCheck:
+    def test_documented_flag_missing_from_parser_fails(self, tmp_path):
+        make_cli_repo(tmp_path, "use `--real-flag` or maybe `--fake-flag`\n")
+        proc = run_checker(str(tmp_path))
+        assert proc.returncode == 1
+        assert "--fake-flag" in proc.stdout
+        assert "not accepted" in proc.stdout
+
+    def test_parser_flag_missing_from_docs_fails(self, tmp_path):
+        make_cli_repo(tmp_path, "no flags are discussed here\n")
+        proc = run_checker(str(tmp_path))
+        assert proc.returncode == 1
+        assert "--real-flag" in proc.stdout
+        assert "documented nowhere" in proc.stdout
+
+    def test_matching_flags_pass(self, tmp_path):
+        make_cli_repo(tmp_path, "run with `--real-flag`\n")
+        proc = run_checker(str(tmp_path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_trees_without_the_package_skip_the_flag_check(self, tmp_path):
+        (tmp_path / "README.md").write_text("other tool's `--whatever` flag\n")
+        proc = run_checker(str(tmp_path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_external_tool_flags_are_allowlisted(self, tmp_path):
+        make_cli_repo(
+            tmp_path,
+            "use `--real-flag`; compare with `--benchmark-only` and "
+            "`--tolerance` via the bench comparator\n",
+        )
+        proc = run_checker(str(tmp_path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr

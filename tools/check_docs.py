@@ -14,6 +14,13 @@ Tokens that are clearly not repo paths are skipped: URLs, anchors,
 placeholders containing ``<>{}*()=``, shell commands (whitespace), and
 runtime artifact locations (``runs/...``, ``benchmarks/results/...``).
 
+When the checked tree contains the ``repro`` package (``src/repro``), the
+CLI surface is cross-checked too: every ``--flag`` token the docs mention
+must be accepted by some ``python -m repro`` subcommand (stale docs), and
+every flag the parser defines must be mentioned somewhere in the docs
+(undocumented surface).  Flags belonging to other tools the docs discuss
+(pytest, the bench comparators) are allowlisted in :data:`EXTERNAL_FLAGS`.
+
 Usage::
 
     python tools/check_docs.py            # checks the repo it lives in
@@ -25,6 +32,7 @@ is printed as ``file:line: message``).
 
 from __future__ import annotations
 
+import argparse
 import re
 import sys
 from pathlib import Path
@@ -40,6 +48,17 @@ PATHLIKE = re.compile(r"^[A-Za-z0-9_.\-/]+$")
 EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
 # Locations that only exist after running something.
 RUNTIME_PREFIXES = ("runs/", "benchmarks/results/")
+
+#: ``--flag`` tokens in prose or fenced command examples.
+FLAG = re.compile(r"(?<![\w/-])--[a-z][a-z0-9-]+")
+#: Long options the docs mention that belong to *other* tools, not the
+#: ``python -m repro`` parser (bench comparators, pytest, pip).
+EXTERNAL_FLAGS = {
+    "--benchmark-only",  # tools/compare_bench.py
+    "--history",  # benchmarks/bench_* history ledger flag
+    "--tolerance",  # tools/compare_bench.py regression threshold
+    "--doctest-modules",  # pytest (cited when discussing the test config)
+}
 
 
 def iter_docs(root: Path):
@@ -84,6 +103,59 @@ def check_doc(root: Path, doc: Path) -> list[str]:
     return errors
 
 
+def repro_cli_flags(root: Path) -> set[str] | None:
+    """Every ``--flag`` the ``python -m repro`` parser accepts, across all
+    subcommands — or ``None`` when ``root`` has no ``repro`` package (the
+    planted-rot fixture trees the tests run the checker against)."""
+    src = root / "src"
+    if not (src / "repro" / "__main__.py").exists():
+        return None
+    sys.path.insert(0, str(src))
+    try:
+        from repro.__main__ import build_parser
+    finally:
+        sys.path.remove(str(src))
+    flags: set[str] = set()
+
+    def walk(parser: argparse.ArgumentParser) -> None:
+        for action in parser._actions:
+            flags.update(opt for opt in action.option_strings if opt.startswith("--"))
+            if isinstance(action, argparse._SubParsersAction):
+                for sub in action.choices.values():
+                    walk(sub)
+
+    walk(build_parser())
+    flags.discard("--help")
+    return flags
+
+
+def check_cli_flags(root: Path, docs: list[Path]) -> list[str]:
+    """Cross-check documented ``--flag`` tokens against the live parser."""
+    known = repro_cli_flags(root)
+    if known is None:
+        return []
+    errors: list[str] = []
+    documented: set[str] = set()
+    for doc in docs:
+        for lineno, line in enumerate(doc.read_text().splitlines(), start=1):
+            for flag in FLAG.findall(line):
+                if flag in EXTERNAL_FLAGS:
+                    continue
+                documented.add(flag)
+                if flag not in known:
+                    errors.append(
+                        f"{doc.relative_to(root)}:{lineno}: flag {flag!r} is not "
+                        "accepted by any `python -m repro` subcommand (stale docs, "
+                        "or add it to EXTERNAL_FLAGS if it belongs to another tool)"
+                    )
+    for flag in sorted(known - documented):
+        errors.append(
+            f"docs/RUNNING.md: flag {flag!r} exists in `python -m repro` but is "
+            "documented nowhere"
+        )
+    return errors
+
+
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     root = Path(args[0]).resolve() if args else Path(__file__).resolve().parent.parent
@@ -92,6 +164,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: no documentation found under {root}", file=sys.stderr)
         return 1
     errors = [err for doc in docs for err in check_doc(root, doc)]
+    errors.extend(check_cli_flags(root, docs))
     for err in errors:
         print(err)
     checked = ", ".join(str(d.relative_to(root)) for d in docs)
